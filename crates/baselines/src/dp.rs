@@ -1,0 +1,156 @@
+//! Differential-privacy substrate: the Laplace mechanism and privacy-budget
+//! bookkeeping used by DiffPart.
+
+use rand::Rng;
+
+/// The Laplace mechanism: adds `Laplace(0, sensitivity / epsilon)` noise to a
+/// true count.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    /// The query sensitivity (1 for counting queries over set-valued data
+    /// where each individual contributes one record).
+    pub sensitivity: f64,
+}
+
+impl LaplaceMechanism {
+    /// A counting-query mechanism (sensitivity 1).
+    pub fn counting() -> Self {
+        LaplaceMechanism { sensitivity: 1.0 }
+    }
+
+    /// Samples Laplace(0, b) noise with scale `b = sensitivity / epsilon`.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, epsilon: f64, rng: &mut R) -> f64 {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let b = self.sensitivity / epsilon;
+        // Inverse-CDF sampling: X = -b * sign(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Returns `count + Laplace(sensitivity / epsilon)`.
+    pub fn noisy_count<R: Rng + ?Sized>(&self, count: u64, epsilon: f64, rng: &mut R) -> f64 {
+        count as f64 + self.sample_noise(epsilon, rng)
+    }
+}
+
+/// A privacy budget that can be split across the phases of a mechanism and
+/// consumed; attempts to overspend panic (a mis-accounted budget silently
+/// voids the differential-privacy guarantee, so this is a hard error).
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget of `epsilon` (> 0).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        PrivacyBudget {
+            total: epsilon,
+            spent: 0.0,
+        }
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The unspent budget.
+    pub fn remaining(&self) -> f64 {
+        self.total - self.spent
+    }
+
+    /// Consumes `epsilon` from the budget.
+    ///
+    /// # Panics
+    /// Panics when the budget would become negative (beyond a small floating
+    /// point tolerance).
+    pub fn spend(&mut self, epsilon: f64) {
+        assert!(epsilon >= 0.0, "cannot spend a negative budget");
+        assert!(
+            self.spent + epsilon <= self.total + 1e-9,
+            "privacy budget exceeded: spent {} + {} > total {}",
+            self.spent,
+            epsilon,
+            self.total
+        );
+        self.spent += epsilon;
+    }
+
+    /// Splits off a fraction of the *total* budget (e.g. "half for
+    /// partitioning, half for the final counts").
+    pub fn fraction(&self, f: f64) -> f64 {
+        self.total * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_noise_is_zero_mean_and_scales_with_epsilon() {
+        let mech = LaplaceMechanism::counting();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples_tight: Vec<f64> = (0..n).map(|_| mech.sample_noise(1.0, &mut rng)).collect();
+        let samples_loose: Vec<f64> = (0..n).map(|_| mech.sample_noise(0.1, &mut rng)).collect();
+        let mean = samples_tight.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        let mad_tight =
+            samples_tight.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        let mad_loose =
+            samples_loose.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        // E|X| = b, so the ratio of mean absolute deviations ≈ 10.
+        let ratio = mad_loose / mad_tight;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn noisy_count_is_centered_on_the_true_count() {
+        let mech = LaplaceMechanism::counting();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let avg: f64 = (0..n)
+            .map(|_| mech.noisy_count(100, 0.5, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - 100.0).abs() < 0.5, "avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_is_rejected() {
+        let mech = LaplaceMechanism::counting();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = mech.sample_noise(0.0, &mut rng);
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let mut budget = PrivacyBudget::new(1.0);
+        assert_eq!(budget.total(), 1.0);
+        budget.spend(0.25);
+        budget.spend(0.5);
+        assert!((budget.remaining() - 0.25).abs() < 1e-12);
+        assert_eq!(budget.fraction(0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy budget exceeded")]
+    fn overspending_panics() {
+        let mut budget = PrivacyBudget::new(0.5);
+        budget.spend(0.4);
+        budget.spend(0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn non_positive_budget_is_rejected() {
+        let _ = PrivacyBudget::new(0.0);
+    }
+}

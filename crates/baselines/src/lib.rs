@@ -1,0 +1,31 @@
+//! # baselines — the comparison methods of the paper's evaluation
+//!
+//! Figure 11 of the paper compares disassociation against two
+//! state-of-the-art anonymization methods for set-valued data:
+//!
+//! * [`apriori`] — **Apriori anonymization** (Terrovitis, Mamoulis, Kalnis,
+//!   PVLDB 2008 \[27\]): achieves the *same* k^m-anonymity guarantee but via
+//!   **generalization**: terms are recoded to coarser taxonomy nodes until
+//!   every combination of up to `m` (generalized) terms is supported by at
+//!   least `k` records.
+//! * [`diffpart`] — **DiffPart** (Chen, Mohammed, Fung, Desai, Xiong, PVLDB
+//!   2011 \[6\]): publishes a *differentially private* version of the data by
+//!   top-down partitioning guided by a taxonomy, with Laplace-noisy counts
+//!   and suppression of partitions whose noisy count falls below a threshold.
+//! * [`dp`] — the Laplace mechanism and privacy-budget bookkeeping DiffPart
+//!   relies on.
+//!
+//! Both methods are re-implemented from the algorithm descriptions of the
+//! cited papers (the original binaries are not available); DESIGN.md §3
+//! documents the substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod diffpart;
+pub mod dp;
+
+pub use apriori::{AprioriAnonymizer, AprioriConfig, AprioriResult};
+pub use diffpart::{DiffPart, DiffPartConfig, DiffPartResult};
+pub use dp::{LaplaceMechanism, PrivacyBudget};

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the k^m-anonymity chunk checks — the
+//! innermost loop of VERPART (the paper's complexity analysis singles this
+//! step out as the expensive part of vertical partitioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disassociation::anonymity::{is_k_anonymous, is_km_anonymous, IncrementalChecker};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transact::{Record, TermId};
+
+/// A synthetic cluster of `n` records over `domain` terms with skew.
+fn cluster(n: usize, domain: u32, avg_len: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=avg_len * 2);
+            Record::from_ids((0..len).map(|_| {
+                // Quadratic skew towards small ids.
+                let u: f64 = rng.gen();
+                TermId::new((u * u * domain as f64) as u32)
+            }))
+        })
+        .collect()
+}
+
+fn bench_km_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_km_anonymous");
+    for &(n, m) in &[(50usize, 2usize), (50, 3), (200, 2)] {
+        let records = cluster(n, 30, 5, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &records,
+            |b, r| b.iter(|| is_km_anonymous(r, 5, m)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_k_check(c: &mut Criterion) {
+    let records = cluster(200, 30, 5, 11);
+    c.bench_function("is_k_anonymous/200", |b| b.iter(|| is_k_anonymous(&records, 5)));
+}
+
+fn bench_incremental_checker(c: &mut Criterion) {
+    let records = cluster(50, 40, 6, 13);
+    c.bench_function("incremental_checker/greedy-pass", |b| {
+        b.iter(|| {
+            let mut checker = IncrementalChecker::new(&records, 5, 2);
+            let mut accepted = 0usize;
+            for raw in 0..40u32 {
+                let t = TermId::new(raw);
+                if checker.can_add(t) {
+                    checker.add(t);
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+}
+
+criterion_group!(benches, bench_km_check, bench_k_check, bench_incremental_checker);
+criterion_main!(benches);

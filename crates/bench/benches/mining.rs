@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the frequent-itemset miners behind the tKd
+//! metric (Apriori vs FP-growth, and exact top-K extraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{QuestConfig, QuestGenerator};
+use fimi::{mine_frequent_apriori, mine_frequent_fpgrowth, records_to_transactions, top_k_frequent, TopKConfig};
+
+fn transactions(records: usize) -> Vec<Vec<u32>> {
+    let dataset = QuestGenerator::generate_with(QuestConfig {
+        num_transactions: records,
+        domain_size: 500,
+        avg_transaction_len: 8.0,
+        seed: 0x417E,
+        ..QuestConfig::default()
+    });
+    records_to_transactions(dataset.records())
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let tx = transactions(5_000);
+    let min_support = (tx.len() / 100) as u64; // 1% support
+    let mut group = c.benchmark_group("mine_frequent");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("apriori", "5k"), &tx, |b, t| {
+        b.iter(|| mine_frequent_apriori(t, min_support, 3))
+    });
+    group.bench_with_input(BenchmarkId::new("fpgrowth", "5k"), &tx, |b, t| {
+        b.iter(|| mine_frequent_fpgrowth(t, min_support, 3))
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let tx = transactions(10_000);
+    let mut group = c.benchmark_group("top_k_frequent");
+    group.sample_size(10);
+    for &k in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &tx, |b, t| {
+            b.iter(|| {
+                top_k_frequent(
+                    t,
+                    &TopKConfig {
+                        k,
+                        max_len: 3,
+                        ..TopKConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates fig06 of the paper (see `disassoc_bench::figures::fig06`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig06_datasets [--scale N]`
+//! (N divides the paper's workload size; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::figures::fig06(scale).finish();
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig07a of the paper (see `disassoc_bench::figures::fig07a`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig07a_real_loss [--scale N]`
+//! (N divides the paper's workload size; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::figures::fig07a(scale).finish();
+}

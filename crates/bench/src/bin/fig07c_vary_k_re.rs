@@ -1,0 +1,8 @@
+//! Regenerates fig07c of the paper (see `disassoc_bench::figures::fig07c`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig07c_vary_k_re [--scale N]`
+//! (N divides the paper's workload size; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::figures::fig07c(scale).finish();
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig07d of the paper (see `disassoc_bench::figures::fig07d`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig07d_reconstructions [--scale N]`
+//! (N divides the paper's workload size; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::figures::fig07d(scale).finish();
+}

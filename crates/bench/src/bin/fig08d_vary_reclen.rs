@@ -1,0 +1,8 @@
+//! Regenerates fig08d of the paper (see `disassoc_bench::figures::fig08d`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig08d_vary_reclen [--scale N]`
+//! (N divides the paper's workload size; default 100).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(100);
+    disassoc_bench::figures::fig08d(scale).finish();
+}

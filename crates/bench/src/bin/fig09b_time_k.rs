@@ -1,0 +1,8 @@
+//! Regenerates fig09b of the paper (see `disassoc_bench::figures::fig09b`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig09b_time_k [--scale N]`
+//! (N divides the paper's workload size; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::figures::fig09b(scale).finish();
+}

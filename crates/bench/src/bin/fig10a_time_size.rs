@@ -1,0 +1,8 @@
+//! Regenerates fig10a of the paper (see `disassoc_bench::figures::fig10a`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig10a_time_size [--scale N]`
+//! (N divides the paper's workload size; default 100).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(100);
+    disassoc_bench::figures::fig10a(scale).finish();
+}

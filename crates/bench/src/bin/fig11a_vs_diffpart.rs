@@ -1,0 +1,8 @@
+//! Regenerates fig11a of the paper (see `disassoc_bench::figures::fig11a`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig11a_vs_diffpart [--scale N]`
+//! (N divides the paper's workload size; default 40).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(40);
+    disassoc_bench::figures::fig11a(scale).finish();
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig11c of the paper (see `disassoc_bench::figures::fig11c`).
+//! Usage: `cargo run --release -p disassoc-bench --bin fig11c_re_comparison [--scale N]`
+//! (N divides the paper's workload size; default 40).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(40);
+    disassoc_bench::figures::fig11c(scale).finish();
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment of the evaluation (Figures 6–11) in sequence and
+//! writes all reports under `experiments/out/`.
+//!
+//! Usage: `cargo run --release -p disassoc-bench --bin run_all_experiments [--scale N]`
+//! where N multiplies the per-figure default scale divisors (N=1 keeps the
+//! defaults; larger N shrinks every workload further for a quick smoke run).
+
+use disassoc_bench::figures;
+
+fn main() {
+    let extra = disassoc_bench::parse_scale_arg(1);
+    let runs: Vec<(&str, fn(usize) -> disassoc_bench::ExperimentReport, usize)> = vec![
+        ("fig06", figures::fig06, 20),
+        ("fig07a", figures::fig07a, 20),
+        ("fig07b", figures::fig07b, 20),
+        ("fig07c", figures::fig07c, 20),
+        ("fig07d", figures::fig07d, 20),
+        ("fig08ab", figures::fig08ab, 100),
+        ("fig08c", figures::fig08c, 100),
+        ("fig08d", figures::fig08d, 100),
+        ("fig09a", figures::fig09a, 20),
+        ("fig09b", figures::fig09b, 20),
+        ("fig10a", figures::fig10a, 100),
+        ("fig10b", figures::fig10b, 100),
+        ("fig11a", figures::fig11a, 40),
+        ("fig11b", figures::fig11b, 40),
+        ("fig11c", figures::fig11c, 40),
+    ];
+    for (name, fun, default_scale) in runs {
+        let scale = default_scale.saturating_mul(extra).max(1);
+        eprintln!(">>> running {name} at scale 1/{scale}");
+        let started = std::time::Instant::now();
+        fun(scale).finish();
+        eprintln!("<<< {name} finished in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,195 @@
+//! Experiment reporting: named series of (x, y) points, rendered both as an
+//! aligned text table (the console output) and as JSON (written under
+//! `experiments/out/` for EXPERIMENTS.md and plotting).
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A single measured series (one curve/bar group of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Series name (e.g. `tKd-a`, `Disassociation`, `DiffPart`).
+    pub name: String,
+    /// Points as `(x-label, value)`.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: &str) -> Self {
+        Series {
+            name: name.to_owned(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl ToString, y: f64) {
+        self.points.push((x.to_string(), y));
+    }
+}
+
+/// A reproduced figure or table: metadata plus the measured series.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. `fig07a`).
+    pub id: String,
+    /// What the paper plots there.
+    pub title: String,
+    /// The workload / parameters used for this run.
+    pub parameters: String,
+    /// The scale factor relative to the paper's workload (1 = full size).
+    pub scale: usize,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, parameters: &str, scale: usize) -> Self {
+        ExperimentReport {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            parameters: parameters.to_owned(),
+            scale,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the report as an aligned text table (x labels as rows, series
+    /// as columns) — the same rows/series the paper's figures plot.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("params: {} (scale 1/{})\n", self.parameters, self.scale));
+        if self.series.is_empty() {
+            return out;
+        }
+        // Collect the union of x labels in first-appearance order.
+        let mut labels: Vec<String> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !labels.contains(x) {
+                    labels.push(x.clone());
+                }
+            }
+        }
+        let xw = labels.iter().map(String::len).max().unwrap_or(1).max(8);
+        out.push_str(&format!("{:<xw$}", "x"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>12}", s.name));
+        }
+        out.push('\n');
+        for label in &labels {
+            out.push_str(&format!("{label:<xw$}"));
+            for s in &self.series {
+                match s.points.iter().find(|(x, _)| x == label) {
+                    Some((_, y)) => out.push_str(&format!(" {y:>12.4}")),
+                    None => out.push_str(&format!(" {:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the report as JSON under `dir` (named `<id>.json`) and the text
+    /// table as `<id>.txt`; returns the JSON path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&json_path)?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("report serialization cannot fail")
+                .as_bytes(),
+        )?;
+        let txt_path = dir.join(format!("{}.txt", self.id));
+        std::fs::write(txt_path, self.render_table())?;
+        Ok(json_path)
+    }
+
+    /// The default output directory (`experiments/out` at the workspace root,
+    /// or the current directory when run from elsewhere).
+    pub fn default_output_dir() -> PathBuf {
+        let candidate = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments/out");
+        candidate
+    }
+
+    /// Prints the table to stdout and writes the files to the default
+    /// directory — the tail shared by every experiment binary.
+    pub fn finish(&self) {
+        print!("{}", self.render_table());
+        match self.write_to(&Self::default_output_dir()) {
+            Ok(path) => println!("(report written to {})\n", path.display()),
+            Err(e) => eprintln!("warning: could not write report: {e}"),
+        }
+    }
+}
+
+/// Parses the common `--scale N` argument of the experiment binaries (the
+/// factor by which the paper's workload sizes are divided); `default` is used
+/// when the flag is absent.
+pub fn parse_scale_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == "--scale" {
+            if let Ok(v) = window[1].parse::<usize>() {
+                return v.max(1);
+            }
+        }
+    }
+    default.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_series() {
+        let mut report = ExperimentReport::new("figXX", "demo", "k=5, m=2", 10);
+        let mut a = Series::new("tKd");
+        a.push("POS", 0.05);
+        a.push("WV1", 0.10);
+        let mut b = Series::new("re");
+        b.push("POS", 0.5);
+        report.add_series(a);
+        report.add_series(b);
+        let table = report.render_table();
+        assert!(table.contains("figXX"));
+        assert!(table.contains("tKd"));
+        assert!(table.contains("0.0500"));
+        assert!(table.contains("POS"));
+        // Missing points render as '-'.
+        assert!(table.lines().any(|l| l.starts_with("WV1") && l.contains('-')));
+    }
+
+    #[test]
+    fn write_to_produces_json_and_txt() {
+        let dir = std::env::temp_dir().join("disassoc_bench_report_test");
+        let mut report = ExperimentReport::new("fig_test", "demo", "none", 1);
+        let mut s = Series::new("y");
+        s.push(1, 2.0);
+        report.add_series(s);
+        let json = report.write_to(&dir).unwrap();
+        assert!(json.exists());
+        assert!(dir.join("fig_test.txt").exists());
+        let text = std::fs::read_to_string(&json).unwrap();
+        let parsed: ExperimentReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scale_arg_defaults_when_absent() {
+        assert_eq!(parse_scale_arg(20), 20);
+        assert_eq!(parse_scale_arg(0), 1);
+    }
+}

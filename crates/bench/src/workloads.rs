@@ -1,0 +1,81 @@
+//! Shared workload construction for the experiment binaries.
+
+use datagen::{QuestConfig, QuestGenerator, RealDataset};
+use transact::Dataset;
+
+/// A workload plus the description used in reports.
+#[derive(Debug, Clone)]
+pub struct ScaledWorkload {
+    /// Display name (e.g. `POS`, `quest-1M`).
+    pub name: String,
+    /// The generated records.
+    pub dataset: Dataset,
+    /// The scale divisor applied to the paper's size.
+    pub scale: usize,
+}
+
+/// The three real-dataset profiles at `1/scale` of their published sizes.
+pub fn real_scaled(scale: usize) -> Vec<ScaledWorkload> {
+    RealDataset::ALL
+        .iter()
+        .map(|d| ScaledWorkload {
+            name: d.name().to_owned(),
+            dataset: d.generate_scaled(scale),
+            scale,
+        })
+        .collect()
+}
+
+/// One real-dataset profile at `1/scale`.
+pub fn real_one_scaled(which: RealDataset, scale: usize) -> ScaledWorkload {
+    ScaledWorkload {
+        name: which.name().to_owned(),
+        dataset: which.generate_scaled(scale),
+        scale,
+    }
+}
+
+/// A Quest synthetic workload with explicit parameters (the paper's defaults
+/// are 1M records, 5k terms, average length 10 — pass `records` already
+/// scaled).
+pub fn quest_scaled(records: usize, domain: usize, avg_len: f64, seed: u64) -> ScaledWorkload {
+    let dataset = QuestGenerator::generate_with(QuestConfig {
+        num_transactions: records.max(1),
+        domain_size: domain.max(1),
+        avg_transaction_len: avg_len,
+        seed,
+        ..QuestConfig::default()
+    });
+    ScaledWorkload {
+        name: format!("quest-{}x{}x{:.0}", records, domain, avg_len),
+        dataset,
+        scale: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_scaled_produces_three_workloads() {
+        let w = real_scaled(500);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].name, "POS");
+        assert!(w.iter().all(|x| !x.dataset.is_empty()));
+    }
+
+    #[test]
+    fn quest_scaled_respects_parameters() {
+        let w = quest_scaled(500, 200, 6.0, 1);
+        assert_eq!(w.dataset.len(), 500);
+        assert!(w.dataset.domain_size() <= 200);
+    }
+
+    #[test]
+    fn real_one_scaled_matches_profile_name() {
+        let w = real_one_scaled(RealDataset::Wv2, 200);
+        assert_eq!(w.name, "WV2");
+        assert!(!w.dataset.is_empty());
+    }
+}

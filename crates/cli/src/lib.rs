@@ -1,0 +1,460 @@
+//! # disassoc-cli — command-line front end
+//!
+//! A small, dependency-free command-line interface around the
+//! [`disassociation`] library so the anonymizer can be used on plain
+//! transaction files without writing Rust:
+//!
+//! ```text
+//! disassoc generate  --kind quest --records 10000 --domain 1000 --out data.dat
+//! disassoc stats     --input data.dat
+//! disassoc anonymize --input data.dat --k 5 --m 2 --out-prefix published
+//! disassoc reconstruct --chunks published.chunks.json --out sample.dat
+//! disassoc evaluate  --input data.dat --k 5 --m 2
+//! ```
+//!
+//! The argument parser is hand-rolled (the offline crate set has no CLI
+//! parser); [`Command::parse`] is exercised directly by the unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use datagen::{QuestConfig, QuestGenerator, RealDataset};
+use disassociation::{reconstruct_many, DisassociationConfig, Disassociator};
+use metrics::{InformationLoss, LossConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use transact::DatasetStats;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset.
+    Generate {
+        /// `quest`, `pos`, `wv1` or `wv2`.
+        kind: String,
+        /// Number of records (Quest only; profiles use their published size / scale).
+        records: usize,
+        /// Domain size (Quest only).
+        domain: usize,
+        /// Average record length (Quest only).
+        avg_len: f64,
+        /// Down-scaling factor for the real-dataset profiles.
+        scale: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Print the Figure 6 statistics of a dataset.
+    Stats {
+        /// Input transaction file.
+        input: PathBuf,
+    },
+    /// Anonymize a dataset by disassociation.
+    Anonymize {
+        /// Input transaction file.
+        input: PathBuf,
+        /// Privacy parameter k.
+        k: usize,
+        /// Privacy parameter m.
+        m: usize,
+        /// Maximum cluster size (0 = default).
+        max_cluster_size: usize,
+        /// Disable the refining step.
+        no_refine: bool,
+        /// Output prefix (writes `<prefix>.chunks.json`).
+        out_prefix: PathBuf,
+    },
+    /// Sample reconstructions from a published chunk file.
+    Reconstruct {
+        /// The `.chunks.json` file produced by `anonymize`.
+        chunks: PathBuf,
+        /// Output path (suffix `.N` added when more than one sample).
+        out: PathBuf,
+        /// Number of reconstructions.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Anonymize and report the information-loss metrics.
+    Evaluate {
+        /// Input transaction file.
+        input: PathBuf,
+        /// Privacy parameter k.
+        k: usize,
+        /// Privacy parameter m.
+        m: usize,
+    },
+    /// Print usage information.
+    Help,
+}
+
+/// A CLI error (bad arguments or I/O problems).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+impl From<transact::TransactError> for CliError {
+    fn from(e: transact::TransactError) -> Self {
+        CliError(e.to_string())
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// The usage text printed by `disassoc help`.
+pub const USAGE: &str = "disassoc — privacy preservation by disassociation (VLDB 2012)
+
+USAGE:
+  disassoc generate   --kind quest|pos|wv1|wv2 [--records N] [--domain N]
+                      [--avg-len F] [--scale N] [--seed N] --out FILE
+  disassoc stats      --input FILE
+  disassoc anonymize  --input FILE --k K --m M [--max-cluster-size N]
+                      [--no-refine] --out-prefix PREFIX
+  disassoc reconstruct --chunks FILE.chunks.json --out FILE [--samples N] [--seed N]
+  disassoc evaluate   --input FILE --k K --m M
+  disassoc help
+";
+
+impl Command {
+    /// Parses a command line (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, CliError> {
+        let mut it = args.iter();
+        let sub = it.next().map(String::as_str).unwrap_or("help");
+        let rest: Vec<String> = it.cloned().collect();
+        let flags = parse_flags(&rest)?;
+        let get = |name: &str| flags.get(name).cloned();
+        let req = |name: &str| {
+            get(name).ok_or_else(|| CliError(format!("missing required flag --{name}")))
+        };
+        let parse_usize = |name: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| CliError(format!("--{name} expects an integer, got {v:?}")))
+        };
+        let parse_u64 = |name: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| CliError(format!("--{name} expects an integer, got {v:?}")))
+        };
+        match sub {
+            "generate" => Ok(Command::Generate {
+                kind: req("kind")?,
+                records: parse_usize("records", &get("records").unwrap_or_else(|| "10000".into()))?,
+                domain: parse_usize("domain", &get("domain").unwrap_or_else(|| "1000".into()))?,
+                avg_len: get("avg-len")
+                    .unwrap_or_else(|| "10".into())
+                    .parse()
+                    .map_err(|_| CliError("--avg-len expects a number".into()))?,
+                scale: parse_usize("scale", &get("scale").unwrap_or_else(|| "100".into()))?,
+                seed: parse_u64("seed", &get("seed").unwrap_or_else(|| "42".into()))?,
+                out: PathBuf::from(req("out")?),
+            }),
+            "stats" => Ok(Command::Stats {
+                input: PathBuf::from(req("input")?),
+            }),
+            "anonymize" => Ok(Command::Anonymize {
+                input: PathBuf::from(req("input")?),
+                k: parse_usize("k", &req("k")?)?,
+                m: parse_usize("m", &req("m")?)?,
+                max_cluster_size: parse_usize(
+                    "max-cluster-size",
+                    &get("max-cluster-size").unwrap_or_else(|| "0".into()),
+                )?,
+                no_refine: flags.contains_key("no-refine"),
+                out_prefix: PathBuf::from(req("out-prefix")?),
+            }),
+            "reconstruct" => Ok(Command::Reconstruct {
+                chunks: PathBuf::from(req("chunks")?),
+                out: PathBuf::from(req("out")?),
+                samples: parse_usize("samples", &get("samples").unwrap_or_else(|| "1".into()))?,
+                seed: parse_u64("seed", &get("seed").unwrap_or_else(|| "7".into()))?,
+            }),
+            "evaluate" => Ok(Command::Evaluate {
+                input: PathBuf::from(req("input")?),
+                k: parse_usize("k", &req("k")?)?,
+                m: parse_usize("m", &req("m")?)?,
+            }),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+        }
+    }
+
+    /// Executes the command, writing human-readable progress to `out`.
+    pub fn run(&self, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+        match self {
+            Command::Help => {
+                writeln!(out, "{USAGE}")?;
+                Ok(())
+            }
+            Command::Generate {
+                kind,
+                records,
+                domain,
+                avg_len,
+                scale,
+                seed,
+                out: path,
+            } => {
+                let dataset = match kind.as_str() {
+                    "quest" => QuestGenerator::generate_with(QuestConfig {
+                        num_transactions: *records,
+                        domain_size: *domain,
+                        avg_transaction_len: *avg_len,
+                        seed: *seed,
+                        ..QuestConfig::default()
+                    }),
+                    "pos" => RealDataset::Pos.generate_scaled(*scale),
+                    "wv1" => RealDataset::Wv1.generate_scaled(*scale),
+                    "wv2" => RealDataset::Wv2.generate_scaled(*scale),
+                    other => return Err(CliError(format!("unknown dataset kind {other:?}"))),
+                };
+                transact::io::write_numeric_transactions_path(&dataset, path)?;
+                writeln!(
+                    out,
+                    "wrote {} records over {} terms to {}",
+                    dataset.len(),
+                    dataset.domain_size(),
+                    path.display()
+                )?;
+                Ok(())
+            }
+            Command::Stats { input } => {
+                let dataset = transact::io::read_numeric_transactions_path(input)?;
+                let stats = DatasetStats::compute(&dataset);
+                writeln!(out, "{}", stats.figure6_row(&input.display().to_string()))?;
+                writeln!(
+                    out,
+                    "max term support {}  median term support {}  rare-term fraction {:.3}",
+                    stats.max_term_support, stats.median_term_support, stats.fraction_rare_terms
+                )?;
+                Ok(())
+            }
+            Command::Anonymize {
+                input,
+                k,
+                m,
+                max_cluster_size,
+                no_refine,
+                out_prefix,
+            } => {
+                let dataset = transact::io::read_numeric_transactions_path(input)?;
+                let config = DisassociationConfig {
+                    k: *k,
+                    m: *m,
+                    max_cluster_size: *max_cluster_size,
+                    enable_refine: !no_refine,
+                    ..Default::default()
+                };
+                let output = Disassociator::new(config).anonymize(&dataset);
+                let chunks_path = out_prefix.with_extension("chunks.json");
+                std::fs::write(&chunks_path, serde_json::to_vec_pretty(&output.dataset)?)?;
+                writeln!(
+                    out,
+                    "anonymized {} records into {} simple clusters ({} record chunks, {} shared chunks) in {:.2}s",
+                    output.dataset.total_records(),
+                    output.dataset.simple_clusters().len(),
+                    output.dataset.num_record_chunks(),
+                    output.dataset.shared_chunks().len(),
+                    output.total_seconds()
+                )?;
+                writeln!(out, "published chunks: {}", chunks_path.display())?;
+                Ok(())
+            }
+            Command::Reconstruct {
+                chunks,
+                out: path,
+                samples,
+                seed,
+            } => {
+                let text = std::fs::read_to_string(chunks)?;
+                let published: disassociation::DisassociatedDataset = serde_json::from_str(&text)?;
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(*seed);
+                let reconstructions = reconstruct_many(&published, (*samples).max(1), &mut rng);
+                for (i, d) in reconstructions.iter().enumerate() {
+                    let target = if reconstructions.len() == 1 {
+                        path.clone()
+                    } else {
+                        path.with_extension(format!("{i}.dat"))
+                    };
+                    transact::io::write_numeric_transactions_path(d, &target)?;
+                    writeln!(out, "reconstruction {} -> {}", i, target.display())?;
+                }
+                Ok(())
+            }
+            Command::Evaluate { input, k, m } => {
+                let dataset = transact::io::read_numeric_transactions_path(input)?;
+                let config = DisassociationConfig {
+                    k: *k,
+                    m: *m,
+                    ..Default::default()
+                };
+                let output = Disassociator::new(config).anonymize(&dataset);
+                let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
+                writeln!(out, "{}", loss.table_row(&format!("k={k} m={m}")))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parses `--flag value` and boolean `--flag` arguments.
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError(format!("unexpected argument {arg:?}")));
+        };
+        let is_boolean = name == "no-refine";
+        if is_boolean {
+            flags.insert(name.to_owned(), "true".to_owned());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
+            flags.insert(name.to_owned(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = Command::parse(&args(
+            "generate --kind quest --records 100 --domain 50 --out /tmp/x.dat",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate { kind, records, domain, .. } => {
+                assert_eq!(kind, "quest");
+                assert_eq!(records, 100);
+                assert_eq!(domain, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_anonymize_with_flags() {
+        let cmd = Command::parse(&args(
+            "anonymize --input d.dat --k 5 --m 2 --no-refine --out-prefix pub",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Anonymize { k, m, no_refine, .. } => {
+                assert_eq!((k, m), (5, 2));
+                assert!(no_refine);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        let err = Command::parse(&args("anonymize --input d.dat --k 5 --out-prefix pub"))
+            .unwrap_err();
+        assert!(err.0.contains("--m"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(Command::parse(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn bad_integer_is_an_error() {
+        let err = Command::parse(&args("evaluate --input d.dat --k five --m 2")).unwrap_err();
+        assert!(err.0.contains("--k"));
+    }
+
+    #[test]
+    fn empty_command_line_is_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(Command::parse(&args("stats input.dat")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_anonymize_reconstruct_evaluate() {
+        let dir = std::env::temp_dir().join("disassoc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.dat");
+        let prefix = dir.join("published");
+        let mut sink = Vec::new();
+
+        Command::parse(&args(&format!(
+            "generate --kind quest --records 300 --domain 80 --out {}",
+            data.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        assert!(data.exists());
+
+        Command::parse(&args(&format!("stats --input {}", data.display())))
+            .unwrap()
+            .run(&mut sink)
+            .unwrap();
+
+        Command::parse(&args(&format!(
+            "anonymize --input {} --k 3 --m 2 --out-prefix {}",
+            data.display(),
+            prefix.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        let chunks = prefix.with_extension("chunks.json");
+        assert!(chunks.exists());
+
+        let recon = dir.join("recon.dat");
+        Command::parse(&args(&format!(
+            "reconstruct --chunks {} --out {} --samples 2",
+            chunks.display(),
+            recon.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        Command::parse(&args(&format!(
+            "evaluate --input {} --k 3 --m 2",
+            data.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("anonymized 300 records"));
+        assert!(text.contains("tKd"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,20 @@
+//! `disassoc` — the command-line entry point (see the library crate for the
+//! command implementations).
+
+use disassoc_cli::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match Command::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = command.run(&mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

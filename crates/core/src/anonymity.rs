@@ -1,0 +1,270 @@
+//! k^m-anonymity and k-anonymity checks on chunks.
+//!
+//! A chunk (a bag of subrecords) is **k^m-anonymous** when every combination
+//! of at most `m` terms that appears in some subrecord appears in at least
+//! `k` subrecords (Section 3).  It is **k-anonymous** when every distinct
+//! non-empty subrecord value appears at least `k` times; k-anonymity implies
+//! k^m-anonymity for every `m` (needed by Property 1 for shared chunks).
+
+use std::collections::HashMap;
+use transact::itemset::{for_each_subset_containing, for_each_subset_up_to};
+use transact::{Itemset, Record, TermId};
+
+/// Whether `subrecords` form a k^m-anonymous chunk.
+///
+/// Empty subrecords are ignored: they contain no term combination.
+pub fn is_km_anonymous(subrecords: &[Record], k: usize, m: usize) -> bool {
+    if k <= 1 || m == 0 {
+        return true;
+    }
+    let counts = combination_counts(subrecords, m);
+    counts.values().all(|&c| c as usize >= k)
+}
+
+/// Counts the support of every term combination of size `1..=m` appearing in
+/// the subrecords.
+pub fn combination_counts(subrecords: &[Record], m: usize) -> HashMap<Itemset, u64> {
+    let mut counts: HashMap<Itemset, u64> = HashMap::new();
+    for r in subrecords {
+        for_each_subset_up_to(r.terms(), m, |subset| {
+            *counts.entry(Itemset(subset.to_vec())).or_insert(0) += 1;
+        });
+    }
+    counts
+}
+
+/// Whether `subrecords` form a k-anonymous chunk: every *distinct non-empty
+/// subrecord* appears at least `k` times.
+pub fn is_k_anonymous(subrecords: &[Record], k: usize) -> bool {
+    if k <= 1 {
+        return true;
+    }
+    let mut counts: HashMap<&Record, usize> = HashMap::new();
+    for r in subrecords {
+        if r.is_empty() {
+            continue;
+        }
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    counts.values().all(|&c| c >= k)
+}
+
+/// Incremental k^m-anonymity tester used by VERPART.
+///
+/// The greedy vertical partitioning repeatedly asks "does the chunk stay
+/// k^m-anonymous if term `t` joins the current domain `T_cur`?".  Because the
+/// chunk over `T_cur` is k^m-anonymous by construction, only combinations
+/// *containing `t`* can be violated, so the tester projects each cluster
+/// record onto `T_cur ∪ {t}` and counts just those combinations.
+#[derive(Debug)]
+pub struct IncrementalChecker<'a> {
+    /// The cluster's original records.
+    records: &'a [Record],
+    /// Current chunk domain (sorted).
+    current_domain: Vec<TermId>,
+    /// Projection of every record onto the current domain.
+    projections: Vec<Record>,
+    k: usize,
+    m: usize,
+}
+
+impl<'a> IncrementalChecker<'a> {
+    /// Creates a checker over the cluster `records` with an empty domain.
+    pub fn new(records: &'a [Record], k: usize, m: usize) -> Self {
+        IncrementalChecker {
+            records,
+            current_domain: Vec::new(),
+            projections: vec![Record::new(); records.len()],
+            k,
+            m,
+        }
+    }
+
+    /// The current chunk domain.
+    pub fn domain(&self) -> &[TermId] {
+        &self.current_domain
+    }
+
+    /// The current projections (one per record, possibly empty).
+    pub fn projections(&self) -> &[Record] {
+        &self.projections
+    }
+
+    /// Whether adding `t` keeps the chunk k^m-anonymous.
+    pub fn can_add(&self, t: TermId) -> bool {
+        if self.k <= 1 || self.m == 0 {
+            return true;
+        }
+        // Count only the combinations that contain `t`.
+        let mut counts: HashMap<Itemset, u64> = HashMap::new();
+        for (rec, proj) in self.records.iter().zip(&self.projections) {
+            if !rec.contains(t) {
+                continue;
+            }
+            let mut extended = proj.clone();
+            extended.insert(t);
+            for_each_subset_containing(extended.terms(), t, self.m, |subset| {
+                *counts.entry(Itemset(subset.to_vec())).or_insert(0) += 1;
+            });
+        }
+        counts.values().all(|&c| c as usize >= self.k)
+    }
+
+    /// Adds `t` to the chunk domain (the caller has already established that
+    /// the chunk stays anonymous, or deliberately forces the addition).
+    pub fn add(&mut self, t: TermId) {
+        if let Err(pos) = self.current_domain.binary_search(&t) {
+            self.current_domain.insert(pos, t);
+        }
+        for (rec, proj) in self.records.iter().zip(self.projections.iter_mut()) {
+            if rec.contains(t) {
+                proj.insert(t);
+            }
+        }
+    }
+
+    /// Resets the domain to empty (to start building the next chunk).
+    pub fn reset(&mut self) {
+        self.current_domain.clear();
+        for p in &mut self.projections {
+            *p = Record::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    #[test]
+    fn km_anonymity_of_figure2_chunk_c1() {
+        // Chunk C1 of Figure 2b: {itunes(0), flu(1), madonna(2)} projections.
+        let subrecords = vec![
+            rec(&[0, 1, 2]),
+            rec(&[2, 1]),
+            rec(&[0, 2]),
+            rec(&[0, 1]),
+            rec(&[0, 1, 2]),
+        ];
+        assert!(is_km_anonymous(&subrecords, 3, 2));
+        assert!(!is_km_anonymous(&subrecords, 4, 2), "each pair appears exactly 3 times");
+    }
+
+    #[test]
+    fn km_anonymity_trivial_cases() {
+        assert!(is_km_anonymous(&[], 5, 2));
+        assert!(is_km_anonymous(&[rec(&[1])], 1, 2), "k=1 is always satisfied");
+        assert!(is_km_anonymous(&[rec(&[1])], 5, 0), "m=0 means no background knowledge");
+        assert!(!is_km_anonymous(&[rec(&[1])], 2, 1));
+    }
+
+    #[test]
+    fn empty_subrecords_are_ignored() {
+        let subrecords = vec![rec(&[]), rec(&[1]), rec(&[1]), rec(&[])];
+        assert!(is_km_anonymous(&subrecords, 2, 2));
+    }
+
+    #[test]
+    fn km_violation_detected_for_rare_pair() {
+        let subrecords = vec![rec(&[1, 2]), rec(&[1]), rec(&[2]), rec(&[1, 2])];
+        assert!(is_km_anonymous(&subrecords, 2, 2));
+        assert!(!is_km_anonymous(&subrecords, 3, 2), "pair {{1,2}} appears twice");
+        // With m = 1 only singletons matter: both appear 3 times.
+        assert!(is_km_anonymous(&subrecords, 3, 1));
+    }
+
+    #[test]
+    fn k_anonymity_counts_identical_subrecords() {
+        let subrecords = vec![rec(&[1, 2]), rec(&[1, 2]), rec(&[1, 2])];
+        assert!(is_k_anonymous(&subrecords, 3));
+        assert!(!is_k_anonymous(&subrecords, 4));
+        let mixed = vec![rec(&[1, 2]), rec(&[1, 2]), rec(&[1])];
+        assert!(!is_k_anonymous(&mixed, 2));
+        assert!(is_k_anonymous(&[], 5));
+        assert!(is_k_anonymous(&[rec(&[])], 5), "empty subrecords ignored");
+    }
+
+    #[test]
+    fn k_anonymity_implies_km_anonymity() {
+        let subrecords = vec![rec(&[1, 2, 3]); 4];
+        for m in 1..=3 {
+            assert!(is_km_anonymous(&subrecords, 4, m));
+        }
+        assert!(is_k_anonymous(&subrecords, 4));
+    }
+
+    #[test]
+    fn combination_counts_are_exact() {
+        let subrecords = vec![rec(&[1, 2]), rec(&[1, 2, 3])];
+        let counts = combination_counts(&subrecords, 2);
+        assert_eq!(counts[&Itemset(vec![tid(1)])], 2);
+        assert_eq!(counts[&Itemset(vec![tid(1), tid(2)])], 2);
+        assert_eq!(counts[&Itemset(vec![tid(2), tid(3)])], 1);
+        assert!(!counts.contains_key(&Itemset(vec![tid(1), tid(2), tid(3)])));
+    }
+
+    #[test]
+    fn incremental_checker_matches_full_check() {
+        // Cluster P1 of Figure 2 (term ids: itunes=0, flu=1, madonna=2,
+        // audi=3, sony=4, ikea=5, viagra=6, ruby=7).
+        let records = vec![
+            rec(&[0, 1, 2, 5, 7]),
+            rec(&[2, 1, 6, 7, 3, 4]),
+            rec(&[0, 2, 3, 5, 4]),
+            rec(&[0, 1, 6]),
+            rec(&[0, 1, 2, 3, 4]),
+        ];
+        let (k, m) = (3, 2);
+        let mut checker = IncrementalChecker::new(&records, k, m);
+        // Candidate order by descending support: 0(4),1(4),2(4),3(3),4(3),5(2),6(2),7(2).
+        let mut accepted = Vec::new();
+        for t in [0u32, 1, 2, 3, 4].map(tid) {
+            if checker.can_add(t) {
+                checker.add(t);
+                accepted.push(t);
+                // The projected chunk must be k^m-anonymous after every accepted add.
+                let projections: Vec<Record> = records
+                    .iter()
+                    .map(|r| r.project_sorted(checker.domain()))
+                    .collect();
+                assert!(is_km_anonymous(&projections, k, m));
+            }
+        }
+        // itunes, flu, madonna are mutually frequent enough (each pair ≥ 3);
+        // audi/sony pairs with them appear only 2-3 times.
+        assert!(accepted.contains(&tid(0)));
+        assert!(accepted.contains(&tid(1)));
+        assert!(accepted.contains(&tid(2)));
+    }
+
+    #[test]
+    fn incremental_checker_rejects_violating_term() {
+        // Term 9 co-occurs with 1 only once: adding it after 1 violates 2^2.
+        let records = vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[9])];
+        let mut checker = IncrementalChecker::new(&records, 2, 2);
+        assert!(checker.can_add(tid(1)));
+        checker.add(tid(1));
+        assert!(!checker.can_add(tid(9)), "pair {{1,9}} appears only once");
+        checker.reset();
+        assert!(checker.can_add(tid(9)), "singleton 9 has support 2");
+    }
+
+    #[test]
+    fn incremental_checker_reset_clears_state() {
+        let records = vec![rec(&[1, 2]), rec(&[1, 2])];
+        let mut checker = IncrementalChecker::new(&records, 2, 2);
+        checker.add(tid(1));
+        assert_eq!(checker.domain(), &[tid(1)]);
+        checker.reset();
+        assert!(checker.domain().is_empty());
+        assert!(checker.projections().iter().all(Record::is_empty));
+    }
+}

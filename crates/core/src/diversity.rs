@@ -1,0 +1,131 @@
+//! l-diversity support (Section 5, "Diversity").
+//!
+//! When some terms are known to be *sensitive*, the disassociation framework
+//! can additionally protect against attribute disclosure: sensitive terms are
+//! (a) ignored during horizontal partitioning and (b) always placed in the
+//! term chunk during vertical partitioning.  A sensitive term can then be
+//! attributed to any record of its cluster with probability at most
+//! `1 / |P|`, so publishing clusters of at least `l` records yields
+//! l-diversity.  The cluster size is controlled through
+//! [`crate::DisassociationConfig::max_cluster_size`] (and the minimum cluster
+//! size achieved is reported by [`achieved_diversity`]).
+
+use crate::model::DisassociatedDataset;
+use std::collections::BTreeSet;
+use transact::TermId;
+
+/// The diversity level achieved by a published dataset for the given
+/// sensitive terms: the minimum cluster size among clusters whose term chunk
+/// (or any chunk) exposes a sensitive term, or `None` when no cluster
+/// contains a sensitive term.
+///
+/// A sensitive term placed in the term chunk of a cluster of size `s` can be
+/// linked to any specific record with probability `1/s`, so the returned
+/// value is the effective `l` of "each sensitive value is associated with at
+/// least l candidate records".
+pub fn achieved_diversity(
+    published: &DisassociatedDataset,
+    sensitive: &BTreeSet<TermId>,
+) -> Option<usize> {
+    if sensitive.is_empty() {
+        return None;
+    }
+    let mut min_size: Option<usize> = None;
+    for cluster in published.simple_clusters() {
+        let exposes = cluster.all_terms().iter().any(|t| sensitive.contains(t));
+        if exposes {
+            min_size = Some(min_size.map_or(cluster.size, |m| m.min(cluster.size)));
+        }
+    }
+    min_size
+}
+
+/// Whether every sensitive term was kept out of record chunks and shared
+/// chunks (the invariant the l-diversity mode must maintain: associations
+/// between sensitive terms and other subrecords stay hidden).
+pub fn sensitive_terms_isolated(
+    published: &DisassociatedDataset,
+    sensitive: &BTreeSet<TermId>,
+) -> bool {
+    for cluster in published.simple_clusters() {
+        if cluster
+            .record_chunk_terms()
+            .iter()
+            .any(|t| sensitive.contains(t))
+        {
+            return false;
+        }
+    }
+    for shared in published.shared_chunks() {
+        if shared.chunk.domain.iter().any(|t| sensitive.contains(t)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cluster, ClusterNode, RecordChunk, TermChunk};
+    use transact::Record;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    fn sensitive(ids: &[u32]) -> BTreeSet<TermId> {
+        ids.iter().map(|&i| tid(i)).collect()
+    }
+
+    fn cluster_with_term_chunk(size: usize, chunk_terms: &[u32], term_terms: &[u32]) -> Cluster {
+        Cluster {
+            size,
+            record_chunks: if chunk_terms.is_empty() {
+                vec![]
+            } else {
+                vec![RecordChunk::new(
+                    chunk_terms.iter().map(|&i| tid(i)).collect(),
+                    vec![rec(chunk_terms); size],
+                )]
+            },
+            term_chunk: TermChunk::new(term_terms.iter().map(|&i| tid(i)).collect()),
+        }
+    }
+
+    #[test]
+    fn diversity_is_the_minimum_exposing_cluster_size() {
+        let ds = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![
+                ClusterNode::Simple(cluster_with_term_chunk(10, &[1], &[100])),
+                ClusterNode::Simple(cluster_with_term_chunk(4, &[2], &[100])),
+                ClusterNode::Simple(cluster_with_term_chunk(2, &[3], &[])),
+            ],
+        };
+        assert_eq!(achieved_diversity(&ds, &sensitive(&[100])), Some(4));
+        assert_eq!(achieved_diversity(&ds, &sensitive(&[999])), None);
+        assert_eq!(achieved_diversity(&ds, &BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn isolation_detects_sensitive_terms_in_record_chunks() {
+        let good = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![ClusterNode::Simple(cluster_with_term_chunk(5, &[1], &[100]))],
+        };
+        assert!(sensitive_terms_isolated(&good, &sensitive(&[100])));
+        let bad = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![ClusterNode::Simple(cluster_with_term_chunk(5, &[100], &[]))],
+        };
+        assert!(!sensitive_terms_isolated(&bad, &sensitive(&[100])));
+    }
+}

@@ -1,0 +1,311 @@
+//! HORPART — horizontal partitioning (Algorithm HORPART, Section 4).
+//!
+//! Records are recursively split on the presence of the most frequent term
+//! that has not yet been used for splitting, until partitions are smaller
+//! than `max_cluster_size`.  The split brings records that share frequent
+//! terms into the same cluster, which lets the subsequent vertical
+//! partitioning keep those terms together in record chunks.
+//!
+//! The implementation works on record *indices* (no record cloning) and uses
+//! an explicit work stack (no recursion), so it scales to the paper's
+//! 10M-record synthetic workloads.
+
+use std::collections::BTreeSet;
+use transact::{Dataset, Record, SupportMap, TermId};
+
+/// A horizontal partition: the indices (into the original dataset) of the
+/// records assigned to each cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HorizontalPartition {
+    /// One entry per cluster; each entry lists original record indices.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl HorizontalPartition {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Materializes cluster `i` as a list of record references.
+    pub fn cluster_records<'a>(&self, dataset: &'a Dataset, i: usize) -> Vec<&'a Record> {
+        self.clusters[i]
+            .iter()
+            .map(|&idx| &dataset.records()[idx])
+            .collect()
+    }
+
+    /// Total number of records across clusters (equals `|D|`).
+    pub fn total_records(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// Splits `dataset` into clusters of at most `max_cluster_size` records
+/// (except where every candidate splitting term is exhausted — see
+/// DESIGN.md, interpretive choice 2).
+///
+/// `ignore_terms` seeds the ignore set of Algorithm HORPART; the l-diversity
+/// mode passes the sensitive terms here so they never drive the clustering.
+pub fn horizontal_partition(
+    dataset: &Dataset,
+    max_cluster_size: usize,
+    ignore_terms: &BTreeSet<TermId>,
+) -> HorizontalPartition {
+    let max_cluster_size = max_cluster_size.max(1);
+    let all_indices: Vec<usize> = (0..dataset.len()).collect();
+    if dataset.is_empty() {
+        return HorizontalPartition { clusters: vec![] };
+    }
+
+    // Work stack of (record indices, ignore set). The ignore set is shared
+    // along a path of the recursion tree; cloning it per node is acceptable
+    // because its size is bounded by the recursion depth.
+    let mut stack: Vec<(Vec<usize>, BTreeSet<TermId>)> =
+        vec![(all_indices, ignore_terms.clone())];
+    let mut clusters = Vec::new();
+
+    while let Some((indices, ignore)) = stack.pop() {
+        if indices.is_empty() {
+            continue;
+        }
+        if indices.len() < max_cluster_size {
+            clusters.push(indices);
+            continue;
+        }
+        // Most frequent term within this partition that is not ignored.
+        let supports = partition_supports(dataset, &indices);
+        let candidate = supports
+            .terms_by_descending_support()
+            .into_iter()
+            .find(|t| !ignore.contains(t));
+        let Some(split_term) = candidate else {
+            // Every term already used for splitting: publish as one cluster.
+            clusters.push(indices);
+            continue;
+        };
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for idx in indices {
+            if dataset.records()[idx].contains(split_term) {
+                with.push(idx);
+            } else {
+                without.push(idx);
+            }
+        }
+        // `D1` (records having the term) recurses with the term added to the
+        // ignore set; `D2` keeps the current ignore set (Algorithm HORPART,
+        // line 6).
+        let mut ignore_with = ignore.clone();
+        ignore_with.insert(split_term);
+        if !with.is_empty() {
+            stack.push((with, ignore_with));
+        }
+        if !without.is_empty() {
+            stack.push((without, ignore));
+        }
+    }
+    HorizontalPartition { clusters }
+}
+
+/// Merges clusters smaller than `min_size` into a neighbouring cluster.
+///
+/// Guarantee 1 needs at least `k` candidate records *within the cluster*
+/// whenever the adversary's terms all fall into the term chunk (the padding
+/// argument in the proofs of Lemmas 1 and 2 implicitly constructs `k`
+/// distinct records of the cluster), so no published cluster may have fewer
+/// than `k` records.  HORPART itself can produce arbitrarily small leftovers
+/// (e.g. the handful of records not containing any frequent term); this
+/// post-processing folds each such leftover into the cluster preceding it in
+/// the HORPART output (adjacent clusters come from nearby splits, so they are
+/// the most similar choice available without re-clustering).
+pub fn merge_small_clusters(partition: &mut HorizontalPartition, min_size: usize) {
+    if min_size <= 1 || partition.clusters.len() <= 1 {
+        return;
+    }
+    let mut merged: Vec<Vec<usize>> = Vec::with_capacity(partition.clusters.len());
+    for cluster in partition.clusters.drain(..) {
+        if cluster.len() < min_size {
+            if let Some(prev) = merged.last_mut() {
+                prev.extend(cluster);
+            } else {
+                merged.push(cluster);
+            }
+        } else {
+            merged.push(cluster);
+        }
+    }
+    // The first cluster may still be too small (it had no predecessor).
+    if merged.len() > 1 && merged[0].len() < min_size {
+        let head = merged.remove(0);
+        merged[0].splice(0..0, head);
+    }
+    partition.clusters = merged;
+}
+
+/// Supports of terms restricted to the records at `indices`.
+fn partition_supports(dataset: &Dataset, indices: &[usize]) -> SupportMap {
+    let mut map = SupportMap::default();
+    for &idx in indices {
+        map.add_record(&dataset.records()[idx]);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn no_ignore() -> BTreeSet<TermId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn small_dataset_is_a_single_cluster() {
+        let d = Dataset::from_records(vec![rec(&[1]), rec(&[2])]);
+        let p = horizontal_partition(&d, 10, &no_ignore());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total_records(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_produces_no_clusters() {
+        let p = horizontal_partition(&Dataset::new(), 5, &no_ignore());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn partition_covers_every_record_exactly_once() {
+        let records: Vec<Record> = (0..50)
+            .map(|i| rec(&[i % 7, (i % 5) + 10, (i % 3) + 20]))
+            .collect();
+        let d = Dataset::from_records(records);
+        let p = horizontal_partition(&d, 8, &no_ignore());
+        let mut seen: Vec<usize> = p.clusters.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clusters_respect_max_size_when_terms_remain() {
+        let records: Vec<Record> = (0..64)
+            .map(|i| rec(&[i % 2, 2 + (i % 4), 6 + (i % 8), 14 + i % 16]))
+            .collect();
+        let d = Dataset::from_records(records);
+        let p = horizontal_partition(&d, 10, &no_ignore());
+        for cluster in &p.clusters {
+            assert!(
+                cluster.len() <= 10 || cluster.len() < 64,
+                "oversized cluster of {} records",
+                cluster.len()
+            );
+        }
+        // With 30 distinct terms available, the limit should actually hold.
+        assert!(p.clusters.iter().all(|c| c.len() <= 10));
+    }
+
+    #[test]
+    fn identical_records_collapse_into_one_cluster() {
+        // All records identical: after using both terms for splitting the
+        // partition cannot shrink further and is emitted as-is.
+        let d = Dataset::from_records(vec![rec(&[1, 2]); 20]);
+        let p = horizontal_partition(&d, 5, &no_ignore());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.clusters[0].len(), 20);
+    }
+
+    #[test]
+    fn similar_records_end_up_together() {
+        // Two well-separated groups sharing no terms.
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(rec(&[1, 2, 3]));
+        }
+        for _ in 0..10 {
+            records.push(rec(&[100, 101, 102]));
+        }
+        let d = Dataset::from_records(records);
+        let p = horizontal_partition(&d, 12, &no_ignore());
+        for cluster in &p.clusters {
+            let groups: BTreeSet<bool> = cluster
+                .iter()
+                .map(|&i| d.records()[i].contains(TermId::new(1)))
+                .collect();
+            assert_eq!(groups.len(), 1, "cluster mixes the two groups: {cluster:?}");
+        }
+    }
+
+    #[test]
+    fn ignore_terms_are_never_used_for_splitting() {
+        // If the only discriminating term is ignored, the dataset cannot be
+        // split and is returned whole.
+        let mut records = vec![rec(&[1, 2]); 10];
+        records.extend(vec![rec(&[2]); 10]);
+        let d = Dataset::from_records(records);
+        let ignore: BTreeSet<TermId> = [TermId::new(1), TermId::new(2)].into_iter().collect();
+        let p = horizontal_partition(&d, 5, &ignore);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.clusters[0].len(), 20);
+    }
+
+    #[test]
+    fn cluster_records_materializes_references() {
+        let d = Dataset::from_records(vec![rec(&[1]), rec(&[1, 2]), rec(&[3])]);
+        let p = horizontal_partition(&d, 10, &no_ignore());
+        let refs = p.cluster_records(&d, 0);
+        assert_eq!(refs.len(), 3);
+    }
+
+    #[test]
+    fn max_cluster_size_zero_is_treated_as_one() {
+        let d = Dataset::from_records(vec![rec(&[1]), rec(&[2])]);
+        let p = horizontal_partition(&d, 0, &no_ignore());
+        assert_eq!(p.total_records(), 2);
+    }
+
+    #[test]
+    fn merge_small_clusters_enforces_minimum_size() {
+        let mut p = HorizontalPartition {
+            clusters: vec![vec![0, 1, 2, 3, 4], vec![5], vec![6, 7, 8], vec![9]],
+        };
+        merge_small_clusters(&mut p, 3);
+        assert!(p.clusters.iter().all(|c| c.len() >= 3));
+        assert_eq!(p.total_records(), 10);
+        let mut all: Vec<usize> = p.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_small_clusters_handles_small_head() {
+        let mut p = HorizontalPartition {
+            clusters: vec![vec![0], vec![1, 2, 3, 4]],
+        };
+        merge_small_clusters(&mut p, 3);
+        assert_eq!(p.clusters.len(), 1);
+        assert_eq!(p.clusters[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_small_clusters_is_a_noop_when_everything_is_large_enough() {
+        let mut p = HorizontalPartition {
+            clusters: vec![vec![0, 1, 2], vec![3, 4, 5]],
+        };
+        let before = p.clone();
+        merge_small_clusters(&mut p, 2);
+        assert_eq!(p, before);
+        // A single undersized cluster cannot be merged with anything.
+        let mut single = HorizontalPartition { clusters: vec![vec![0]] };
+        merge_small_clusters(&mut single, 5);
+        assert_eq!(single.clusters.len(), 1);
+    }
+}

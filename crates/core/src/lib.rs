@@ -1,0 +1,509 @@
+//! # disassociation — privacy preservation by disassociation
+//!
+//! A Rust implementation of the anonymization method of *Terrovitis,
+//! Liagouris, Mamoulis, Skiadopoulos — "Privacy Preservation by
+//! Disassociation", PVLDB 5(10), 2012*.
+//!
+//! Disassociation publishes sparse set-valued data (web-search logs, retail
+//! baskets, click-streams) with a **k^m-anonymity** guarantee: an adversary
+//! who knows up to `m` terms of a record cannot narrow it down to fewer than
+//! `k` candidate records — yet **every original term is preserved**: nothing
+//! is generalized, suppressed, or perturbed.  Instead, the records are
+//! partitioned so that *the fact that certain terms co-occur in one record*
+//! is hidden.
+//!
+//! ## Pipeline
+//!
+//! 1. **Horizontal partitioning** ([`horpart`]) groups similar records into
+//!    small clusters.
+//! 2. **Vertical partitioning** ([`verpart`]) splits every cluster into
+//!    k^m-anonymous *record chunks* and one *term chunk*.
+//! 3. **Refining** ([`refine`]) merges clusters into *joint clusters* with
+//!    *shared chunks*, recovering the supports of terms that are rare per
+//!    cluster but frequent overall.
+//!
+//! The result is a [`DisassociatedDataset`]; [`reconstruct`] samples possible
+//! original datasets from it for analysis, and [`verify`] re-checks the
+//! guarantee independently.
+//!
+//! ```
+//! use disassociation::{Disassociator, DisassociationConfig};
+//! use transact::{Dataset, Dictionary, Record};
+//!
+//! let mut dict = Dictionary::new();
+//! let records: Vec<Record> = vec![
+//!     Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "ikea", "ruby"]),
+//!     Record::from_terms(&mut dict, ["madonna", "flu", "viagra", "ruby", "audi a4", "sony tv"]),
+//!     Record::from_terms(&mut dict, ["itunes", "madonna", "audi a4", "ikea", "sony tv"]),
+//!     Record::from_terms(&mut dict, ["itunes", "flu", "viagra"]),
+//!     Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "audi a4", "sony tv"]),
+//! ];
+//! let dataset = Dataset::from_records(records);
+//!
+//! let config = DisassociationConfig { k: 3, m: 2, ..Default::default() };
+//! let output = Disassociator::new(config).anonymize(&dataset);
+//!
+//! assert_eq!(output.dataset.total_records(), 5);
+//! assert!(disassociation::verify::verify_structure(&output.dataset).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymity;
+pub mod diversity;
+pub mod horpart;
+pub mod model;
+pub mod query;
+pub mod reconstruct;
+pub mod refine;
+pub mod verify;
+pub mod verpart;
+
+pub use model::{
+    Cluster, ClusterNode, DisassociatedDataset, JointCluster, RecordChunk, SharedChunk, TermChunk,
+};
+pub use reconstruct::{reconstruct, reconstruct_many};
+
+use horpart::horizontal_partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use refine::{refine, RefineOptions, WorkCluster, WorkNode};
+use std::collections::BTreeSet;
+use transact::{Dataset, TermId};
+use verpart::{vertical_partition, VerPartOptions};
+
+/// Configuration of a disassociation run.
+#[derive(Debug, Clone)]
+pub struct DisassociationConfig {
+    /// The `k` of the k^m-anonymity guarantee (paper default: 5).
+    pub k: usize,
+    /// The `m` of the k^m-anonymity guarantee — the assumed upper bound on
+    /// the adversary's background knowledge (paper default: 2).
+    pub m: usize,
+    /// Maximum records per cluster produced by the horizontal partitioning.
+    /// `0` selects the default of `10·k` records.
+    pub max_cluster_size: usize,
+    /// Whether the refining step (joint clusters / shared chunks) runs.
+    pub enable_refine: bool,
+    /// Seed for the randomized parts of the transformation (subrecord
+    /// shuffling); the anonymization is deterministic given the seed.
+    pub seed: u64,
+    /// Terms designated as sensitive: they are excluded from horizontal
+    /// partitioning decisions and always placed in term chunks (l-diversity
+    /// mode, Section 5).
+    pub sensitive_terms: BTreeSet<TermId>,
+    /// Vertical-partition clusters on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for DisassociationConfig {
+    fn default() -> Self {
+        DisassociationConfig {
+            k: 5,
+            m: 2,
+            max_cluster_size: 0,
+            enable_refine: true,
+            seed: 0xD15A550C,
+            sensitive_terms: BTreeSet::new(),
+            parallel: true,
+        }
+    }
+}
+
+impl DisassociationConfig {
+    /// The paper's default evaluation setting: k = 5, m = 2.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The effective maximum cluster size.
+    pub fn effective_max_cluster_size(&self) -> usize {
+        if self.max_cluster_size == 0 {
+            (10 * self.k).max(2)
+        } else {
+            self.max_cluster_size.max(2)
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k < 2 {
+            return Err("k must be at least 2 (k = 1 means no privacy)".into());
+        }
+        if self.m == 0 {
+            return Err("m must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The result of a disassociation run.
+#[derive(Debug, Clone)]
+pub struct DisassociationOutput {
+    /// The published dataset.
+    pub dataset: DisassociatedDataset,
+    /// For every simple cluster (depth-first order, matching
+    /// [`DisassociatedDataset::simple_clusters`]) the indices of the original
+    /// records it was built from.  This mapping is **not** part of the
+    /// publication — it exists so that tests, audits and information-loss
+    /// metrics can relate the published form back to the original data.
+    pub cluster_assignment: Vec<Vec<usize>>,
+    /// Wall-clock duration of the three phases, in seconds
+    /// (horizontal, vertical, refine).
+    pub phase_seconds: [f64; 3],
+}
+
+impl DisassociationOutput {
+    /// Total anonymization time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phase_seconds.iter().sum()
+    }
+}
+
+/// The disassociation anonymizer.
+#[derive(Debug, Clone)]
+pub struct Disassociator {
+    config: DisassociationConfig,
+}
+
+impl Disassociator {
+    /// Creates an anonymizer with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`DisassociationConfig::validate`]).
+    pub fn new(config: DisassociationConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid disassociation configuration: {e}"));
+        Disassociator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DisassociationConfig {
+        &self.config
+    }
+
+    /// Anonymizes `dataset`, producing the published form plus bookkeeping.
+    pub fn anonymize(&self, dataset: &Dataset) -> DisassociationOutput {
+        let cfg = &self.config;
+        let t0 = std::time::Instant::now();
+
+        // Phase 1: horizontal partitioning.  Clusters smaller than k are
+        // folded into a neighbour: the Lemma 1/2 padding arguments need at
+        // least k records per cluster.
+        let mut partition = horizontal_partition(
+            dataset,
+            cfg.effective_max_cluster_size(),
+            &cfg.sensitive_terms,
+        );
+        horpart::merge_small_clusters(&mut partition, cfg.k);
+        let t1 = std::time::Instant::now();
+
+        // Phase 2: vertical partitioning (per cluster, optionally parallel).
+        let vp_options = VerPartOptions {
+            forced_term_chunk: cfg.sensitive_terms.clone(),
+            shuffle: true,
+        };
+        let clusters: Vec<WorkCluster> = if cfg.parallel && partition.len() > 1 {
+            self.vertical_parallel(dataset, &partition.clusters, &vp_options)
+        } else {
+            self.vertical_serial(dataset, &partition.clusters, &vp_options)
+        };
+        let t2 = std::time::Instant::now();
+
+        // Phase 3: refining.
+        let mut nodes: Vec<WorkNode> = clusters.into_iter().map(WorkNode::Simple).collect();
+        if cfg.enable_refine {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_2EF1);
+            let refine_options = RefineOptions {
+                excluded_terms: cfg.sensitive_terms.clone(),
+                ..RefineOptions::default()
+            };
+            nodes = refine(nodes, cfg.k, cfg.m, &refine_options, &mut rng);
+        }
+        let t3 = std::time::Instant::now();
+
+        // Assemble the published dataset and the assignment bookkeeping.
+        let mut cluster_assignment = Vec::new();
+        for node in &nodes {
+            for wc in node.simple_clusters() {
+                cluster_assignment.push(wc.record_indices.clone());
+            }
+        }
+        let dataset = DisassociatedDataset {
+            k: cfg.k,
+            m: cfg.m,
+            clusters: nodes.into_iter().map(WorkNode::into_cluster_node).collect(),
+        };
+        DisassociationOutput {
+            dataset,
+            cluster_assignment,
+            phase_seconds: [
+                (t1 - t0).as_secs_f64(),
+                (t2 - t1).as_secs_f64(),
+                (t3 - t2).as_secs_f64(),
+            ],
+        }
+    }
+
+    fn vertical_serial(
+        &self,
+        dataset: &Dataset,
+        clusters: &[Vec<usize>],
+        options: &VerPartOptions,
+    ) -> Vec<WorkCluster> {
+        clusters
+            .iter()
+            .enumerate()
+            .map(|(i, indices)| self.partition_one(dataset, i, indices, options))
+            .collect()
+    }
+
+    fn vertical_parallel(
+        &self,
+        dataset: &Dataset,
+        clusters: &[Vec<usize>],
+        options: &VerPartOptions,
+    ) -> Vec<WorkCluster> {
+        let n_threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(clusters.len().max(1));
+        let results: Vec<parking_lot::Mutex<Option<WorkCluster>>> =
+            (0..clusters.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= clusters.len() {
+                        break;
+                    }
+                    let work = self.partition_one(dataset, i, &clusters[i], options);
+                    *results[i].lock() = Some(work);
+                });
+            }
+        })
+        .expect("vertical partitioning worker panicked");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("cluster result missing"))
+            .collect()
+    }
+
+    fn partition_one(
+        &self,
+        dataset: &Dataset,
+        cluster_index: usize,
+        indices: &[usize],
+        options: &VerPartOptions,
+    ) -> WorkCluster {
+        let records: Vec<transact::Record> = indices
+            .iter()
+            .map(|&idx| dataset.records()[idx].clone())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (cluster_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let cluster = vertical_partition(&records, self.config.k, self.config.m, options, &mut rng);
+        WorkCluster {
+            record_indices: indices.to_vec(),
+            records,
+            cluster,
+        }
+    }
+}
+
+/// Convenience wrapper: anonymize with `k`, `m` and defaults for everything
+/// else.
+pub fn disassociate(dataset: &Dataset, k: usize, m: usize) -> DisassociationOutput {
+    Disassociator::new(DisassociationConfig {
+        k,
+        m,
+        ..Default::default()
+    })
+    .anonymize(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transact::Record;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn figure2_dataset() -> Dataset {
+        // itunes=0, flu=1, madonna=2, audi=3, sony=4, ikea=5, viagra=6,
+        // ruby=7, digital=8, panic=9, playboy=10, iphone=11.
+        Dataset::from_records(vec![
+            rec(&[0, 1, 2, 5, 7]),
+            rec(&[2, 1, 6, 7, 3, 4]),
+            rec(&[0, 2, 3, 5, 4]),
+            rec(&[0, 1, 6]),
+            rec(&[0, 1, 2, 3, 4]),
+            rec(&[2, 8, 9, 10]),
+            rec(&[11, 2, 5, 7]),
+            rec(&[11, 8, 2, 10]),
+            rec(&[11, 8, 9]),
+            rec(&[11, 8, 2, 5, 7]),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_on_the_papers_running_example() {
+        let d = figure2_dataset();
+        let output = Disassociator::new(DisassociationConfig {
+            k: 3,
+            m: 2,
+            max_cluster_size: 6,
+            ..Default::default()
+        })
+        .anonymize(&d);
+        assert_eq!(output.dataset.total_records(), 10);
+        assert!(verify::verify_structure(&output.dataset).is_ok());
+        let attack = verify::verify_attack(&d, &output.dataset, &output.cluster_assignment);
+        assert!(attack.is_ok(), "{:?}", attack.violations);
+        // All 12 original terms survive publication.
+        assert_eq!(output.dataset.all_terms().len(), 12);
+    }
+
+    #[test]
+    fn convenience_function_and_defaults() {
+        let d = figure2_dataset();
+        let output = disassociate(&d, 3, 2);
+        assert_eq!(output.dataset.k, 3);
+        assert_eq!(output.dataset.m, 2);
+        assert_eq!(output.dataset.total_records(), 10);
+        assert!(output.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn cluster_assignment_partitions_the_record_indices() {
+        let d = figure2_dataset();
+        let output = disassociate(&d, 2, 2);
+        let mut all: Vec<usize> = output.cluster_assignment.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            output.cluster_assignment.len(),
+            output.dataset.simple_clusters().len()
+        );
+        for (indices, cluster) in output
+            .cluster_assignment
+            .iter()
+            .zip(output.dataset.simple_clusters())
+        {
+            assert_eq!(indices.len(), cluster.size);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_produce_identical_results() {
+        let d = figure2_dataset();
+        let base = DisassociationConfig {
+            k: 2,
+            m: 2,
+            max_cluster_size: 4,
+            seed: 7,
+            ..Default::default()
+        };
+        let serial = Disassociator::new(DisassociationConfig {
+            parallel: false,
+            ..base.clone()
+        })
+        .anonymize(&d);
+        let parallel = Disassociator::new(DisassociationConfig {
+            parallel: true,
+            ..base
+        })
+        .anonymize(&d);
+        assert_eq!(serial.dataset, parallel.dataset);
+        assert_eq!(serial.cluster_assignment, parallel.cluster_assignment);
+    }
+
+    #[test]
+    fn same_seed_is_fully_deterministic() {
+        let d = figure2_dataset();
+        let cfg = DisassociationConfig {
+            k: 3,
+            m: 2,
+            seed: 55,
+            ..Default::default()
+        };
+        let a = Disassociator::new(cfg.clone()).anonymize(&d);
+        let b = Disassociator::new(cfg).anonymize(&d);
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn refining_can_be_disabled() {
+        let d = figure2_dataset();
+        let output = Disassociator::new(DisassociationConfig {
+            k: 3,
+            m: 2,
+            max_cluster_size: 6,
+            enable_refine: false,
+            ..Default::default()
+        })
+        .anonymize(&d);
+        assert!(output
+            .dataset
+            .clusters
+            .iter()
+            .all(|n| matches!(n, ClusterNode::Simple(_))));
+        assert!(verify::verify_structure(&output.dataset).is_ok());
+    }
+
+    #[test]
+    fn sensitive_terms_are_isolated_in_term_chunks() {
+        let d = figure2_dataset();
+        // madonna (=2) is frequent and would normally be published in record
+        // chunks; mark it sensitive.
+        let sensitive: BTreeSet<TermId> = [TermId::new(2)].into_iter().collect();
+        let output = Disassociator::new(DisassociationConfig {
+            k: 2,
+            m: 2,
+            sensitive_terms: sensitive.clone(),
+            ..Default::default()
+        })
+        .anonymize(&d);
+        assert!(diversity::sensitive_terms_isolated(&output.dataset, &sensitive));
+        assert!(diversity::achieved_diversity(&output.dataset, &sensitive).unwrap() >= 2);
+        assert!(verify::verify_structure(&output.dataset).is_ok());
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let output = disassociate(&Dataset::new(), 3, 2);
+        assert_eq!(output.dataset.total_records(), 0);
+        assert!(output.dataset.clusters.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid disassociation configuration")]
+    fn k_of_one_is_rejected() {
+        let _ = Disassociator::new(DisassociationConfig {
+            k: 1,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn config_validation_and_effective_cluster_size() {
+        assert!(DisassociationConfig { k: 1, ..Default::default() }.validate().is_err());
+        assert!(DisassociationConfig { m: 0, ..Default::default() }.validate().is_err());
+        assert!(DisassociationConfig::paper_default().validate().is_ok());
+        assert_eq!(
+            DisassociationConfig { k: 5, max_cluster_size: 0, ..Default::default() }
+                .effective_max_cluster_size(),
+            50
+        );
+        assert_eq!(
+            DisassociationConfig { max_cluster_size: 7, ..Default::default() }
+                .effective_max_cluster_size(),
+            7
+        );
+    }
+}

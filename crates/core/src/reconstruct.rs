@@ -1,0 +1,275 @@
+//! Reconstruction of possible original datasets.
+//!
+//! A disassociated cluster describes a *set* of possible original clusters:
+//! any combination of one subrecord per record chunk (empties included) plus
+//! any subset of term-chunk terms is a candidate record (Section 3).  Data
+//! analysts are expected to work either directly on the chunks (lower-bound
+//! supports) or on one or more **reconstructed datasets**; averaging query
+//! results over several reconstructions improves accuracy (Figure 7d).
+//!
+//! The reconstruction implemented here samples one possible original dataset
+//! uniformly at random in the following sense:
+//!
+//! * within every record chunk and shared chunk the (padded) subrecord list
+//!   is permuted uniformly and the i-th subrecord is assigned to the i-th
+//!   record of the cluster,
+//! * every term-chunk term is attached to one record of its cluster — chosen
+//!   uniformly, with empty records preferred so the reconstruction contains
+//!   as few invalid (empty) records as possible (the published data
+//!   guarantees, via Lemma 2, that a valid reconstruction exists).
+
+use crate::model::{Cluster, ClusterNode, DisassociatedDataset, RecordChunk};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use transact::{Dataset, Record};
+
+/// Reconstructs one possible original dataset from the published form.
+pub fn reconstruct<R: Rng + ?Sized>(published: &DisassociatedDataset, rng: &mut R) -> Dataset {
+    let mut records = Vec::with_capacity(published.total_records());
+    for node in &published.clusters {
+        reconstruct_node(node, rng, &mut records);
+    }
+    Dataset::from_records(records)
+}
+
+/// Reconstructs `n` independent datasets (used by the multi-reconstruction
+/// averaging experiments of Figure 7d).
+pub fn reconstruct_many<R: Rng + ?Sized>(
+    published: &DisassociatedDataset,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Dataset> {
+    (0..n).map(|_| reconstruct(published, rng)).collect()
+}
+
+fn reconstruct_node<R: Rng + ?Sized>(node: &ClusterNode, rng: &mut R, out: &mut Vec<Record>) {
+    match node {
+        ClusterNode::Simple(cluster) => {
+            let recs = reconstruct_simple(cluster, rng);
+            out.extend(recs);
+        }
+        ClusterNode::Joint(joint) => {
+            // Reconstruct the children first (their records occupy a
+            // contiguous range of `out`), then spread the shared-chunk
+            // subrecords over that range.
+            let start = out.len();
+            for child in &joint.children {
+                reconstruct_node(child, rng, out);
+            }
+            let size = out.len() - start;
+            for shared in &joint.shared_chunks {
+                merge_chunk_into(&shared.chunk, &mut out[start..start + size], rng);
+            }
+        }
+    }
+}
+
+/// Reconstructs a simple cluster.
+fn reconstruct_simple<R: Rng + ?Sized>(cluster: &Cluster, rng: &mut R) -> Vec<Record> {
+    let size = cluster.size;
+    let mut records: Vec<Record> = vec![Record::new(); size];
+    for chunk in &cluster.record_chunks {
+        merge_chunk_into(chunk, &mut records, rng);
+    }
+    // Attach term-chunk terms: prefer empty records so the reconstruction is
+    // valid (no empty original records) whenever possible.
+    if !cluster.term_chunk.is_empty() && size > 0 {
+        let mut empty_slots: Vec<usize> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        empty_slots.shuffle(rng);
+        for &t in &cluster.term_chunk.terms {
+            let target = match empty_slots.pop() {
+                Some(idx) => idx,
+                None => rng.gen_range(0..size),
+            };
+            records[target].insert(t);
+        }
+    }
+    // Remaining empty records (possible when the cluster has more records
+    // than non-empty subrecords and the term chunk ran out of terms): give
+    // each a copy of one random term-chunk term, or leave it empty when the
+    // cluster publishes nothing else (degenerate but information-free).
+    if !cluster.term_chunk.is_empty() {
+        for r in records.iter_mut().filter(|r| r.is_empty()) {
+            let t = cluster.term_chunk.terms[rng.gen_range(0..cluster.term_chunk.len())];
+            r.insert(t);
+        }
+    }
+    records
+}
+
+/// Pads `chunk`'s subrecords with empties up to `slots.len()`, permutes them
+/// uniformly and unions the i-th subrecord into the i-th slot.
+fn merge_chunk_into<R: Rng + ?Sized>(chunk: &RecordChunk, slots: &mut [Record], rng: &mut R) {
+    if slots.is_empty() {
+        return;
+    }
+    let mut padded: Vec<Record> = chunk.subrecords.clone();
+    padded.truncate(slots.len());
+    padded.resize(slots.len(), Record::new());
+    padded.shuffle(rng);
+    for (slot, sub) in slots.iter_mut().zip(padded) {
+        if !sub.is_empty() {
+            *slot = slot.union(&sub);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JointCluster, SharedChunk, TermChunk};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use transact::TermId;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn simple_cluster() -> Cluster {
+        Cluster {
+            size: 5,
+            record_chunks: vec![
+                RecordChunk::new(
+                    vec![tid(0), tid(1), tid(2)],
+                    vec![rec(&[0, 1, 2]), rec(&[2, 1]), rec(&[0, 2]), rec(&[0, 1]), rec(&[0, 1, 2])],
+                ),
+                RecordChunk::new(
+                    vec![tid(3), tid(4)],
+                    vec![rec(&[3, 4]), rec(&[3, 4]), rec(&[3, 4])],
+                ),
+            ],
+            term_chunk: TermChunk::new(vec![tid(5), tid(6), tid(7)]),
+        }
+    }
+
+    fn published(clusters: Vec<ClusterNode>) -> DisassociatedDataset {
+        DisassociatedDataset { k: 3, m: 2, clusters }
+    }
+
+    #[test]
+    fn reconstruction_has_the_published_number_of_records() {
+        let ds = published(vec![ClusterNode::Simple(simple_cluster())]);
+        let rec = reconstruct(&ds, &mut rng());
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn chunk_subrecord_multiset_is_preserved() {
+        let ds = published(vec![ClusterNode::Simple(simple_cluster())]);
+        let reconstructed = reconstruct(&ds, &mut rng());
+        // Projecting the reconstruction back onto each chunk domain must
+        // recover exactly the chunk's subrecord multiset.
+        for chunk in &ds.simple_clusters()[0].record_chunks {
+            let mut projected: Vec<Record> = reconstructed
+                .iter()
+                .map(|r| r.project_sorted(&chunk.domain))
+                .filter(|r| !r.is_empty())
+                .collect();
+            let mut original = chunk.subrecords.clone();
+            projected.sort_by(|a, b| a.terms().cmp(b.terms()));
+            original.sort_by(|a, b| a.terms().cmp(b.terms()));
+            assert_eq!(projected, original);
+        }
+    }
+
+    #[test]
+    fn term_chunk_terms_appear_at_least_once() {
+        let ds = published(vec![ClusterNode::Simple(simple_cluster())]);
+        let reconstructed = reconstruct(&ds, &mut rng());
+        for &t in &[tid(5), tid(6), tid(7)] {
+            assert!(
+                reconstructed.term_support(t) >= 1,
+                "term {t} lost by reconstruction"
+            );
+        }
+    }
+
+    #[test]
+    fn no_record_is_empty_when_the_cluster_publishes_terms() {
+        // A cluster with fewer subrecords than records and a non-empty term
+        // chunk: empty slots must be filled from the term chunk.
+        let cluster = Cluster {
+            size: 6,
+            record_chunks: vec![RecordChunk::new(vec![tid(1)], vec![rec(&[1]); 2])],
+            term_chunk: TermChunk::new(vec![tid(8)]),
+        };
+        let ds = published(vec![ClusterNode::Simple(cluster)]);
+        let reconstructed = reconstruct(&ds, &mut rng());
+        assert_eq!(reconstructed.len(), 6);
+        assert!(reconstructed.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn joint_cluster_shared_chunks_are_spread_over_all_children() {
+        let child_a = Cluster {
+            size: 3,
+            record_chunks: vec![RecordChunk::new(vec![tid(1)], vec![rec(&[1]); 3])],
+            term_chunk: TermChunk::default(),
+        };
+        let child_b = Cluster {
+            size: 3,
+            record_chunks: vec![RecordChunk::new(vec![tid(2)], vec![rec(&[2]); 3])],
+            term_chunk: TermChunk::default(),
+        };
+        let joint = ClusterNode::Joint(JointCluster {
+            children: vec![ClusterNode::Simple(child_a), ClusterNode::Simple(child_b)],
+            shared_chunks: vec![SharedChunk {
+                chunk: RecordChunk::new(vec![tid(9)], vec![rec(&[9]); 4]),
+                requires_k_anonymity: false,
+            }],
+        });
+        let ds = published(vec![joint]);
+        let reconstructed = reconstruct(&ds, &mut rng());
+        assert_eq!(reconstructed.len(), 6);
+        assert_eq!(reconstructed.term_support(tid(9)), 4);
+        assert_eq!(reconstructed.term_support(tid(1)), 3);
+        assert_eq!(reconstructed.term_support(tid(2)), 3);
+    }
+
+    #[test]
+    fn reconstruct_many_produces_independent_samples() {
+        let ds = published(vec![ClusterNode::Simple(simple_cluster())]);
+        let samples = reconstruct_many(&ds, 5, &mut rng());
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(|d| d.len() == 5));
+        // With three term-chunk terms and randomized chunk permutations, at
+        // least two of the five samples should differ.
+        let distinct: std::collections::HashSet<String> = samples
+            .iter()
+            .map(|d| format!("{:?}", d.records()))
+            .collect();
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    fn empty_published_dataset_reconstructs_to_empty() {
+        let ds = published(vec![]);
+        assert!(reconstruct(&ds, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn singleton_support_lower_bounds_hold_in_reconstruction() {
+        let ds = published(vec![ClusterNode::Simple(simple_cluster())]);
+        let reconstructed = reconstruct(&ds, &mut rng());
+        for &t in &[tid(0), tid(1), tid(2), tid(3), tid(4)] {
+            assert!(
+                reconstructed.term_support(t) >= ds.term_support_lower_bound(t),
+                "reconstruction dropped occurrences of {t}"
+            );
+        }
+    }
+}

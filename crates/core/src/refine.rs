@@ -1,0 +1,742 @@
+//! REFINE — joint clusters and shared chunks (Algorithm REFINE, Section 4).
+//!
+//! After vertical partitioning, low-support terms sit in term chunks where
+//! their multiplicities are hidden.  Terms that are rare *within* a cluster
+//! may still be frequent *across* clusters (the paper's ikea/ruby example).
+//! The refining step merges clusters into **joint clusters** and publishes
+//! such terms in **shared chunks**, recovering their supports without
+//! weakening the guarantee:
+//!
+//! * two (simple or joint) clusters are merged only when Equation 1 holds —
+//!   the probability of attributing a refining term to a record of the joint
+//!   cluster must not drop below the probability in the original clusters;
+//! * shared chunks are built over the *common term-chunk terms* with the same
+//!   greedy procedure as VERPART; Property 1 additionally requires plain
+//!   k-anonymity for a shared chunk whose domain intersects `T^r` (the terms
+//!   already published in record or shared chunks below the joint), which
+//!   closes the inference channel illustrated in Figure 5a.
+
+use crate::anonymity::{is_k_anonymous, is_km_anonymous};
+use crate::model::{Cluster, ClusterNode, JointCluster, RecordChunk, SharedChunk};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use transact::{Record, TermId};
+
+/// A simple cluster in the working (pre-publication) representation: the
+/// published [`Cluster`] plus the original records it was built from, which
+/// the refining step needs in order to project refining terms into shared
+/// chunks.
+#[derive(Debug, Clone)]
+pub struct WorkCluster {
+    /// Indices of the original records (into the input dataset).
+    pub record_indices: Vec<usize>,
+    /// The original records of this cluster.
+    pub records: Vec<Record>,
+    /// The vertical-partitioning result.
+    pub cluster: Cluster,
+}
+
+/// A node of the working forest.
+#[derive(Debug, Clone)]
+pub enum WorkNode {
+    /// A simple cluster.
+    Simple(WorkCluster),
+    /// A joint cluster created by the refining step.
+    Joint {
+        /// Children (simple or joint).
+        children: Vec<WorkNode>,
+        /// Shared chunks created for this joint.
+        shared: Vec<SharedChunk>,
+    },
+}
+
+impl WorkNode {
+    /// Total number of original records under this node.
+    pub fn size(&self) -> usize {
+        match self {
+            WorkNode::Simple(w) => w.records.len(),
+            WorkNode::Joint { children, .. } => children.iter().map(WorkNode::size).sum(),
+        }
+    }
+
+    /// The simple clusters below this node (depth-first).
+    pub fn simple_clusters(&self) -> Vec<&WorkCluster> {
+        let mut out = Vec::new();
+        self.collect_simple(&mut out);
+        out
+    }
+
+    fn collect_simple<'a>(&'a self, out: &mut Vec<&'a WorkCluster>) {
+        match self {
+            WorkNode::Simple(w) => out.push(w),
+            WorkNode::Joint { children, .. } => {
+                for c in children {
+                    c.collect_simple(out);
+                }
+            }
+        }
+    }
+
+    fn collect_simple_mut<'a>(&'a mut self, out: &mut Vec<&'a mut WorkCluster>) {
+        match self {
+            WorkNode::Simple(w) => out.push(w),
+            WorkNode::Joint { children, .. } => {
+                for c in children {
+                    c.collect_simple_mut(out);
+                }
+            }
+        }
+    }
+
+    /// The virtual term chunk: union of the term chunks of the simple
+    /// clusters below this node.
+    pub fn virtual_term_chunk(&self) -> BTreeSet<TermId> {
+        self.simple_clusters()
+            .iter()
+            .flat_map(|w| w.cluster.term_chunk.terms.iter().copied())
+            .collect()
+    }
+
+    /// The set `T^r` of Property 1: terms published in record chunks or
+    /// shared chunks anywhere below this node.
+    pub fn record_and_shared_terms(&self) -> BTreeSet<TermId> {
+        let mut set: BTreeSet<TermId> = BTreeSet::new();
+        match self {
+            WorkNode::Simple(w) => set.extend(w.cluster.record_chunk_terms()),
+            WorkNode::Joint { children, shared } => {
+                for s in shared {
+                    set.extend(s.chunk.domain.iter().copied());
+                }
+                for c in children {
+                    set.extend(c.record_and_shared_terms());
+                }
+            }
+        }
+        set
+    }
+
+    /// Converts the working node into the published form.
+    pub fn into_cluster_node(self) -> ClusterNode {
+        match self {
+            WorkNode::Simple(w) => ClusterNode::Simple(w.cluster),
+            WorkNode::Joint { children, shared } => ClusterNode::Joint(JointCluster {
+                children: children.into_iter().map(WorkNode::into_cluster_node).collect(),
+                shared_chunks: shared,
+            }),
+        }
+    }
+}
+
+/// Configuration of the refining step.
+#[derive(Debug, Clone)]
+pub struct RefineOptions {
+    /// Upper bound on the number of full passes over the cluster list (a
+    /// safety valve; the algorithm converges long before this on real data).
+    pub max_passes: usize,
+    /// Whether shared-chunk subrecords are shuffled before publication.
+    pub shuffle: bool,
+    /// Terms that must never be promoted into shared chunks — the l-diversity
+    /// mode routes the sensitive terms here so they stay isolated in term
+    /// chunks (Section 5).
+    pub excluded_terms: BTreeSet<TermId>,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            max_passes: 16,
+            shuffle: true,
+            excluded_terms: BTreeSet::new(),
+        }
+    }
+}
+
+/// Runs the refining step over a forest of clusters, producing a (possibly
+/// smaller) forest where some clusters have been merged into joint clusters
+/// with shared chunks.
+pub fn refine<R: Rng + ?Sized>(
+    mut nodes: Vec<WorkNode>,
+    k: usize,
+    m: usize,
+    options: &RefineOptions,
+    rng: &mut R,
+) -> Vec<WorkNode> {
+    if nodes.len() < 2 {
+        return nodes;
+    }
+    for _pass in 0..options.max_passes.max(1) {
+        order_by_term_chunks(&mut nodes);
+        let mut changed = false;
+        let mut merged: Vec<WorkNode> = Vec::with_capacity(nodes.len());
+        let mut iter = nodes.into_iter().peekable();
+        while let Some(current) = iter.next() {
+            if let Some(_next_ref) = iter.peek() {
+                let next = iter.next().expect("peeked");
+                match try_join(current, next, k, m, options, rng) {
+                    JoinOutcome::Joined(node) => {
+                        changed = true;
+                        merged.push(node);
+                    }
+                    JoinOutcome::NotJoined(a, b) => {
+                        // Pairs are strictly adjacent within a pass; `b` will
+                        // get a new neighbour after the re-ordering of the
+                        // next pass.
+                        merged.push(a);
+                        merged.push(b);
+                    }
+                }
+            } else {
+                merged.push(current);
+            }
+        }
+        nodes = merged;
+        if !changed {
+            break;
+        }
+    }
+    nodes
+}
+
+/// Orders clusters by the contents of their (virtual) term chunks, as
+/// described in Algorithm REFINE: terms are ranked by descending
+/// *term-chunk support* `tcs` (number of clusters whose term chunk contains
+/// the term) and each cluster is keyed by the ranks of its term-chunk terms.
+fn order_by_term_chunks(nodes: &mut [WorkNode]) {
+    // tcs per term.
+    let mut tcs: BTreeMap<TermId, usize> = BTreeMap::new();
+    for node in nodes.iter() {
+        for t in node.virtual_term_chunk() {
+            *tcs.entry(t).or_insert(0) += 1;
+        }
+    }
+    // Rank: 0 = highest tcs; ties by term id for determinism.
+    let mut ranked: Vec<(TermId, usize)> = tcs.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let rank: BTreeMap<TermId, usize> = ranked
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, _))| (t, i))
+        .collect();
+    let key = |node: &WorkNode| -> Vec<usize> {
+        let mut ranks: Vec<usize> = node
+            .virtual_term_chunk()
+            .into_iter()
+            .map(|t| rank.get(&t).copied().unwrap_or(usize::MAX))
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    };
+    nodes.sort_by_cached_key(key);
+}
+
+enum JoinOutcome {
+    Joined(WorkNode),
+    NotJoined(WorkNode, WorkNode),
+}
+
+/// Attempts to join two adjacent nodes.  The join succeeds when they share
+/// refining terms, Equation 1 holds and at least one shared chunk can be
+/// built; otherwise the nodes are returned unchanged.
+fn try_join<R: Rng + ?Sized>(
+    a: WorkNode,
+    b: WorkNode,
+    k: usize,
+    m: usize,
+    options: &RefineOptions,
+    rng: &mut R,
+) -> JoinOutcome {
+    let common: BTreeSet<TermId> = a
+        .virtual_term_chunk()
+        .intersection(&b.virtual_term_chunk())
+        .copied()
+        .filter(|t| !options.excluded_terms.contains(t))
+        .collect();
+    if common.is_empty() {
+        return JoinOutcome::NotJoined(a, b);
+    }
+
+    // Joint support of every refining term: its support in the original
+    // records of the simple clusters whose *term chunk* currently holds it.
+    let joint_size = a.size() + b.size();
+    let simple_of_both: Vec<&WorkCluster> = a
+        .simple_clusters()
+        .into_iter()
+        .chain(b.simple_clusters())
+        .collect();
+    let mut joint_support: BTreeMap<TermId, u64> = BTreeMap::new();
+    for &t in &common {
+        let mut s = 0u64;
+        for w in &simple_of_both {
+            if w.cluster.term_chunk.contains(t) {
+                s += w.records.iter().filter(|r| r.contains(t)).count() as u64;
+            }
+        }
+        joint_support.insert(t, s);
+    }
+
+    // Equation 1.
+    let lhs_num: u64 = joint_support.values().sum();
+    let lhs = lhs_num as f64 / joint_size as f64;
+    let mut rhs_num = 0u64;
+    let mut rhs_den = 0u64;
+    for w in &simple_of_both {
+        let u = common
+            .iter()
+            .filter(|t| w.cluster.term_chunk.contains(**t))
+            .count() as u64;
+        if u > 0 {
+            rhs_num += u;
+            rhs_den += w.records.len() as u64;
+        }
+    }
+    if rhs_den == 0 {
+        return JoinOutcome::NotJoined(a, b);
+    }
+    let rhs = rhs_num as f64 / rhs_den as f64;
+    if lhs < rhs {
+        return JoinOutcome::NotJoined(a, b);
+    }
+
+    // Property 1: shared chunks whose domain intersects T^r must be
+    // k-anonymous.
+    let mut t_r = a.record_and_shared_terms();
+    t_r.extend(b.record_and_shared_terms());
+
+    // Candidate refining terms in descending joint support (ties by id);
+    // terms below k can never form an anonymous shared chunk.
+    let mut candidates: Vec<TermId> = common
+        .iter()
+        .copied()
+        .filter(|t| joint_support[t] as usize >= k)
+        .collect();
+    candidates.sort_by(|x, y| {
+        joint_support[y]
+            .cmp(&joint_support[x])
+            .then_with(|| x.cmp(y))
+    });
+    if candidates.is_empty() {
+        return JoinOutcome::NotJoined(a, b);
+    }
+
+    // Greedy construction of shared chunks (VERPART over the refining terms).
+    let mut shared: Vec<SharedChunk> = Vec::new();
+    let mut placed: BTreeSet<TermId> = BTreeSet::new();
+    let mut remaining = candidates;
+    while !remaining.is_empty() {
+        let mut current: Vec<TermId> = Vec::new();
+        let mut rejected: Vec<TermId> = Vec::new();
+        for &t in &remaining {
+            let mut trial = current.clone();
+            trial.push(t);
+            trial.sort_unstable();
+            let subrecords = project_shared(&simple_of_both, &trial);
+            let needs_k = trial.iter().any(|x| t_r.contains(x));
+            let ok = if needs_k {
+                is_k_anonymous(&subrecords, k)
+            } else {
+                is_km_anonymous(&subrecords, k, m)
+            };
+            if ok {
+                current = trial;
+            } else {
+                rejected.push(t);
+            }
+        }
+        if current.is_empty() {
+            break;
+        }
+        let mut subrecords = project_shared(&simple_of_both, &current);
+        subrecords.retain(|r| !r.is_empty());
+        if options.shuffle {
+            subrecords.shuffle(rng);
+        }
+        let requires_k_anonymity = current.iter().any(|x| t_r.contains(x));
+        placed.extend(current.iter().copied());
+        shared.push(SharedChunk {
+            chunk: RecordChunk {
+                domain: current,
+                subrecords,
+            },
+            requires_k_anonymity,
+        });
+        remaining = rejected;
+    }
+    if shared.is_empty() {
+        return JoinOutcome::NotJoined(a, b);
+    }
+
+    // Remove the placed terms from the term chunks of the simple clusters.
+    // Removing terms can empty a term chunk, which re-exposes the Lemma 2
+    // side condition (the cluster must then hold enough subrecords); apply
+    // the same repair VERPART uses — demote the least frequent record-chunk
+    // term back into the term chunk.
+    let mut joint = WorkNode::Joint {
+        children: vec![a, b],
+        shared,
+    };
+    if let WorkNode::Joint { children, .. } = &mut joint {
+        let mut simple: Vec<&mut WorkCluster> = Vec::new();
+        for c in children.iter_mut() {
+            c.collect_simple_mut(&mut simple);
+        }
+        for w in simple {
+            let mut touched = false;
+            for &t in &placed {
+                touched |= w.cluster.term_chunk.remove(t);
+            }
+            if touched && !crate::verpart::lemma2_holds(&w.cluster, k, m) {
+                let supports = transact::SupportMap::from_records(w.records.iter());
+                crate::verpart::enforce_lemma2(&mut w.cluster, &supports, k, m);
+            }
+        }
+    }
+    JoinOutcome::Joined(joint)
+}
+
+/// Projects the original records of the simple clusters onto `domain`,
+/// restricted per cluster to the terms its term chunk currently holds (a
+/// record never contributes the same projection to two chunks — Section 3).
+fn project_shared(simple: &[&WorkCluster], domain: &[TermId]) -> Vec<Record> {
+    let mut out = Vec::new();
+    for w in simple {
+        let eligible: Vec<TermId> = domain
+            .iter()
+            .copied()
+            .filter(|t| w.cluster.term_chunk.contains(*t))
+            .collect();
+        if eligible.is_empty() {
+            continue;
+        }
+        for r in &w.records {
+            let proj = r.project_sorted(&eligible);
+            if !proj.is_empty() {
+                out.push(proj);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verpart::{vertical_partition, VerPartOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn no_shuffle_vp() -> VerPartOptions {
+        VerPartOptions {
+            forced_term_chunk: BTreeSet::new(),
+            shuffle: false,
+        }
+    }
+
+    fn no_shuffle_refine() -> RefineOptions {
+        RefineOptions {
+            shuffle: false,
+            ..RefineOptions::default()
+        }
+    }
+
+    /// Figure 2 term ids: itunes=0, flu=1, madonna=2, audi=3, sony=4, ikea=5,
+    /// viagra=6, ruby=7, digital=8, panic=9, playboy=10, iphone=11.
+    fn figure2_p1_records() -> Vec<Record> {
+        vec![
+            rec(&[0, 1, 2, 5, 7]),
+            rec(&[2, 1, 6, 7, 3, 4]),
+            rec(&[0, 2, 3, 5, 4]),
+            rec(&[0, 1, 6]),
+            rec(&[0, 1, 2, 3, 4]),
+        ]
+    }
+
+    fn figure2_p2_records() -> Vec<Record> {
+        vec![
+            rec(&[2, 8, 9, 10]),
+            rec(&[11, 2, 5, 7]),
+            rec(&[11, 8, 2, 10]),
+            rec(&[11, 8, 2, 5, 7]),
+            rec(&[11, 8, 9]),
+        ]
+    }
+
+    fn work_cluster(records: Vec<Record>, start_idx: usize, k: usize, m: usize) -> WorkCluster {
+        let cluster = vertical_partition(&records, k, m, &no_shuffle_vp(), &mut rng());
+        WorkCluster {
+            record_indices: (start_idx..start_idx + records.len()).collect(),
+            records,
+            cluster,
+        }
+    }
+
+    #[test]
+    fn figure3_joint_cluster_is_reproduced() {
+        let (k, m) = (3, 2);
+        let p1 = work_cluster(figure2_p1_records(), 0, k, m);
+        let p2 = work_cluster(figure2_p2_records(), 5, k, m);
+        let nodes = refine(
+            vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        assert_eq!(nodes.len(), 1, "the two clusters must merge");
+        let WorkNode::Joint { children, shared } = &nodes[0] else {
+            panic!("expected a joint cluster");
+        };
+        assert_eq!(children.len(), 2);
+        assert_eq!(shared.len(), 1);
+        let sc = &shared[0].chunk;
+        assert_eq!(sc.domain, vec![tid(5), tid(7)], "shared chunk over ikea, ruby");
+        // Figure 3: {ikea,ruby} ×3, {ikea} ×1, {ruby} ×1 — five subrecords.
+        assert_eq!(sc.subrecords.len(), 5);
+        assert_eq!(sc.support(&[tid(5), tid(7)]), 3);
+        assert_eq!(sc.support(&[tid(5)]), 4);
+        assert_eq!(sc.support(&[tid(7)]), 4);
+        assert!(!shared[0].requires_k_anonymity);
+        // ikea and ruby left the term chunks; viagra, panic, playboy stay.
+        let vtc = nodes[0].virtual_term_chunk();
+        assert!(!vtc.contains(&tid(5)) && !vtc.contains(&tid(7)));
+        assert!(vtc.contains(&tid(6)) && vtc.contains(&tid(9)) && vtc.contains(&tid(10)));
+    }
+
+    #[test]
+    fn clusters_without_common_term_chunk_terms_do_not_merge() {
+        let (k, m) = (2, 2);
+        let a = work_cluster(vec![rec(&[1, 2]), rec(&[1, 3])], 0, k, m);
+        let b = work_cluster(vec![rec(&[10, 11]), rec(&[10, 12])], 2, k, m);
+        let nodes = refine(
+            vec![WorkNode::Simple(a), WorkNode::Simple(b)],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.iter().all(|n| matches!(n, WorkNode::Simple(_))));
+    }
+
+    #[test]
+    fn refining_terms_below_k_are_not_promoted() {
+        // Term 9 appears once in each cluster's term chunk: joint support 2 < k = 3.
+        let (k, m) = (3, 2);
+        let a = work_cluster(
+            vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[1])],
+            0,
+            k,
+            m,
+        );
+        let b = work_cluster(
+            vec![rec(&[2, 9]), rec(&[2]), rec(&[2]), rec(&[2])],
+            4,
+            k,
+            m,
+        );
+        let nodes = refine(
+            vec![WorkNode::Simple(a), WorkNode::Simple(b)],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        // No shared chunk can be built, so no join happens.
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn shared_chunks_satisfy_their_anonymity_requirement() {
+        let (k, m) = (3, 2);
+        let p1 = work_cluster(figure2_p1_records(), 0, k, m);
+        let p2 = work_cluster(figure2_p2_records(), 5, k, m);
+        let nodes = refine(
+            vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
+            k,
+            m,
+            &RefineOptions::default(),
+            &mut rng(),
+        );
+        for node in &nodes {
+            if let WorkNode::Joint { shared, .. } = node {
+                for sc in shared {
+                    if sc.requires_k_anonymity {
+                        assert!(is_k_anonymous(&sc.chunk.subrecords, k));
+                    } else {
+                        assert!(is_km_anonymous(&sc.chunk.subrecords, k, m));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property1_forces_k_anonymity_when_term_is_in_descendant_record_chunks() {
+        // The Figure 5 scenario: term 5 is published in a record chunk of a
+        // simple cluster *below* node A (so 5 ∈ T^r of A) while also sitting
+        // in the term chunk of another simple cluster below A and in the term
+        // chunk of node B.  A shared chunk over 5 must then be k-anonymous
+        // and carry the `requires_k_anonymity` flag.
+        let (k, m) = (3, 2);
+        // P1: term 5 in a record chunk (support 4 ≥ k).
+        let p1 = work_cluster(
+            vec![rec(&[5, 1]), rec(&[5, 1]), rec(&[5, 1]), rec(&[5, 1])],
+            0,
+            k,
+            m,
+        );
+        assert!(p1.cluster.record_chunk_terms().contains(&tid(5)));
+        // P2: term 5 in the term chunk (support 2 < k).
+        let p2 = work_cluster(vec![rec(&[2, 5]), rec(&[2, 5]), rec(&[2]), rec(&[2])], 4, k, m);
+        assert!(p2.cluster.term_chunk.contains(tid(5)));
+        // Node A is an (artificial) joint of P1 and P2 with no shared chunks.
+        let a = WorkNode::Joint {
+            children: vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
+            shared: vec![],
+        };
+        assert!(a.virtual_term_chunk().contains(&tid(5)));
+        assert!(a.record_and_shared_terms().contains(&tid(5)));
+        // Node B: term 5 in the term chunk again.
+        let p3 = work_cluster(vec![rec(&[3, 5]), rec(&[3, 5]), rec(&[3]), rec(&[3])], 8, k, m);
+        assert!(p3.cluster.term_chunk.contains(tid(5)));
+        let nodes = refine(
+            vec![a, WorkNode::Simple(p3)],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        let mut saw_shared_over_5 = false;
+        for node in &nodes {
+            if let WorkNode::Joint { shared, .. } = node {
+                for sc in shared {
+                    if sc.chunk.domain.contains(&tid(5)) {
+                        saw_shared_over_5 = true;
+                        assert!(sc.requires_k_anonymity, "5 ∈ T^r ⇒ Property 1 applies");
+                        assert!(is_k_anonymous(&sc.chunk.subrecords, k));
+                    }
+                }
+            }
+        }
+        assert!(saw_shared_over_5, "a shared chunk over term 5 should have been built");
+    }
+
+    #[test]
+    fn equation1_rejects_joins_that_dilute_term_probability() {
+        // Node A is a joint whose subtree contains a large simple cluster P2
+        // that does NOT carry the refining term 9; joining A with P3 would
+        // spread 9 over 36 records while the clusters that actually hold it
+        // cover only 6 — Equation 1 (lhs = 2/36 < rhs = 2/6) must reject the
+        // join even though a k-anonymous shared chunk could be built.
+        let (k, m) = (2, 2);
+        // P1: 3 records, term 9 has support 1 < k → term chunk.
+        let p1 = work_cluster(vec![rec(&[1, 9]), rec(&[1]), rec(&[1])], 0, k, m);
+        assert!(p1.cluster.term_chunk.contains(tid(9)));
+        // P2: 30 records of a frequent term only — empty term chunk.
+        let p2 = work_cluster(vec![rec(&[2]); 30], 3, k, m);
+        assert!(p2.cluster.term_chunk.is_empty());
+        let a = WorkNode::Joint {
+            children: vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
+            shared: vec![],
+        };
+        // P3: 3 records, term 9 again in the term chunk.
+        let p3 = work_cluster(vec![rec(&[3, 9]), rec(&[3]), rec(&[3])], 33, k, m);
+        assert!(p3.cluster.term_chunk.contains(tid(9)));
+        let nodes = refine(
+            vec![a, WorkNode::Simple(p3)],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        assert_eq!(nodes.len(), 2, "Equation 1 must reject the dilutive join");
+        assert!(nodes
+            .iter()
+            .all(|n| match n {
+                WorkNode::Joint { shared, .. } => shared.is_empty(),
+                WorkNode::Simple(_) => true,
+            }));
+    }
+
+    #[test]
+    fn work_node_accessors() {
+        let (k, m) = (3, 2);
+        let p1 = work_cluster(figure2_p1_records(), 0, k, m);
+        let node = WorkNode::Simple(p1);
+        assert_eq!(node.size(), 5);
+        assert_eq!(node.simple_clusters().len(), 1);
+        assert!(node.record_and_shared_terms().contains(&tid(0)));
+        let published = node.into_cluster_node();
+        assert_eq!(published.size(), 5);
+    }
+
+    #[test]
+    fn refine_handles_single_and_empty_forests() {
+        let nodes = refine(vec![], 3, 2, &RefineOptions::default(), &mut rng());
+        assert!(nodes.is_empty());
+        let one = vec![WorkNode::Simple(work_cluster(figure2_p1_records(), 0, 3, 2))];
+        let nodes = refine(one, 3, 2, &RefineOptions::default(), &mut rng());
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn clusters_sharing_a_rare_term_merge_and_keep_every_record() {
+        // Three clusters where term 9 has support 2 < k = 3 and therefore
+        // sits in every term chunk; any two of them can join and publish 9 in
+        // a shared chunk with support 4 ≥ k.
+        let (k, m) = (3, 2);
+        let mk = |base: u32, start: usize| {
+            work_cluster(
+                vec![
+                    rec(&[base, 9]),
+                    rec(&[base, 9]),
+                    rec(&[base]),
+                    rec(&[base]),
+                ],
+                start,
+                k,
+                m,
+            )
+        };
+        let nodes = refine(
+            vec![
+                WorkNode::Simple(mk(1, 0)),
+                WorkNode::Simple(mk(2, 4)),
+                WorkNode::Simple(mk(3, 8)),
+            ],
+            k,
+            m,
+            &no_shuffle_refine(),
+            &mut rng(),
+        );
+        let total: usize = nodes.iter().map(WorkNode::size).sum();
+        assert_eq!(total, 12, "no records may be lost by refining");
+        assert!(
+            nodes.len() < 3,
+            "at least one join must happen when all clusters share term 9"
+        );
+        // The promoted term must appear in exactly one shared chunk with the
+        // combined support of the two merged clusters.
+        let shared_support: u64 = nodes
+            .iter()
+            .flat_map(|n| match n {
+                WorkNode::Joint { shared, .. } => shared.clone(),
+                _ => vec![],
+            })
+            .map(|sc| sc.chunk.support(&[tid(9)]))
+            .sum();
+        assert_eq!(shared_support, 4);
+    }
+}

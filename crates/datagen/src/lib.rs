@@ -1,0 +1,28 @@
+//! # datagen — synthetic workload generation
+//!
+//! The paper's evaluation (Section 7) uses three real datasets (POS, WV1,
+//! WV2 — Zheng et al., KDD 2001) and synthetic datasets produced with IBM's
+//! Quest market-basket generator.  Neither the real datasets nor the original
+//! Quest binary are redistributable, so this crate provides:
+//!
+//! * [`quest`] — a re-implementation of the published Quest generative model
+//!   (potentially frequent patterns, exponentially weighted pattern picking,
+//!   Poisson transaction lengths, pattern corruption),
+//! * [`zipf`] — Zipf / truncated-Poisson samplers used by both generators,
+//! * [`profiles`] — statistical simulators of POS / WV1 / WV2 calibrated to
+//!   the numbers published in Figure 6 of the paper (|D|, |T|, max and
+//!   average record size) with a Zipf-like term-frequency distribution.
+//!
+//! All generators are deterministic given a seed, so every experiment in the
+//! reproduction is repeatable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod quest;
+pub mod zipf;
+
+pub use profiles::{DatasetProfile, RealDataset};
+pub use quest::{QuestConfig, QuestGenerator};
+pub use zipf::{PoissonSampler, ZipfSampler};

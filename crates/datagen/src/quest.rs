@@ -1,0 +1,354 @@
+//! IBM Quest–style market-basket generator.
+//!
+//! The paper's synthetic experiments (Figures 8 and 10) use "IBM's Quest
+//! market-basket synthetic data generator ... 1M records, 5k term domain and
+//! 10 average record length".  The original binary is no longer distributed,
+//! so this module re-implements the generative model described in the
+//! Agrawal–Srikant papers that introduced it:
+//!
+//! 1. A pool of `num_patterns` *potentially frequent itemsets* is created.
+//!    Pattern lengths follow a Poisson distribution around
+//!    `avg_pattern_len`; a fraction (`correlation`) of each pattern's items
+//!    is copied from the previous pattern, the rest are drawn from a skewed
+//!    (Zipf) item distribution.
+//! 2. Each pattern gets an exponentially distributed weight (normalized to a
+//!    probability) and a *corruption level*.
+//! 3. Each transaction's length is Poisson around `avg_transaction_len`.
+//!    Patterns are picked by weight and added to the transaction, dropping
+//!    each item independently with the pattern's corruption probability;
+//!    oversized patterns only fit in half of the time.
+//!
+//! The output is a [`transact::Dataset`] over the dense domain
+//! `0..domain_size`.
+
+use crate::zipf::{sample_weighted, PoissonSampler, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use transact::{Dataset, Record, TermId};
+
+/// Configuration of the Quest-style generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuestConfig {
+    /// Number of transactions (records) to generate, `|D|`.
+    pub num_transactions: usize,
+    /// Domain size `|T|`.
+    pub domain_size: usize,
+    /// Average transaction length (the paper's default is 10).
+    pub avg_transaction_len: f64,
+    /// Number of potentially frequent patterns (Quest default: 2000, scaled
+    /// with the domain here).
+    pub num_patterns: usize,
+    /// Average pattern length (Quest default: 4).
+    pub avg_pattern_len: f64,
+    /// Fraction of items of a pattern copied from the previous pattern
+    /// (Quest default: 0.5).
+    pub correlation: f64,
+    /// Mean corruption level: probability of dropping an item when a pattern
+    /// is instantiated (Quest default: 0.5).
+    pub corruption: f64,
+    /// Zipf exponent of the item distribution used to fill patterns.
+    pub item_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            num_transactions: 10_000,
+            domain_size: 1_000,
+            avg_transaction_len: 10.0,
+            num_patterns: 200,
+            avg_pattern_len: 4.0,
+            correlation: 0.5,
+            corruption: 0.5,
+            item_skew: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// The configuration matching the paper's synthetic default:
+    /// 1M records, 5k domain, average record length 10.
+    ///
+    /// `scale` divides the record count so scaled-down runs stay laptop-sized
+    /// (`scale = 1` reproduces the full-size workload).
+    pub fn paper_default(scale: usize) -> Self {
+        let scale = scale.max(1);
+        QuestConfig {
+            num_transactions: 1_000_000 / scale,
+            domain_size: 5_000,
+            avg_transaction_len: 10.0,
+            num_patterns: 1_000,
+            ..QuestConfig::default()
+        }
+    }
+
+    /// Validates the configuration, returning a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_transactions == 0 {
+            return Err("num_transactions must be > 0".into());
+        }
+        if self.domain_size == 0 {
+            return Err("domain_size must be > 0".into());
+        }
+        if self.avg_transaction_len <= 0.0 {
+            return Err("avg_transaction_len must be > 0".into());
+        }
+        if self.num_patterns == 0 {
+            return Err("num_patterns must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.correlation) {
+            return Err("correlation must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.corruption) {
+            return Err("corruption must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A potentially frequent pattern with its selection weight and corruption.
+#[derive(Debug, Clone)]
+struct Pattern {
+    items: Vec<TermId>,
+    weight: f64,
+    corruption: f64,
+}
+
+/// The Quest-style generator.
+#[derive(Debug)]
+pub struct QuestGenerator {
+    config: QuestConfig,
+    patterns: Vec<Pattern>,
+    rng: StdRng,
+    len_sampler: PoissonSampler,
+}
+
+impl QuestGenerator {
+    /// Builds a generator (creates the pattern pool).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; call [`QuestConfig::validate`]
+    /// first if the configuration is user-supplied.
+    pub fn new(config: QuestConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid Quest configuration: {e}"));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let item_dist = ZipfSampler::new(config.domain_size, config.item_skew);
+        let pattern_len = PoissonSampler::new(config.avg_pattern_len);
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(config.num_patterns);
+        let mut prev_items: Vec<TermId> = Vec::new();
+        for _ in 0..config.num_patterns {
+            let len = pattern_len.sample_clamped(&mut rng, 1, (config.domain_size as u64).max(1)) as usize;
+            let mut items: Vec<TermId> = Vec::with_capacity(len);
+            // Copy a `correlation` fraction from the previous pattern.
+            if !prev_items.is_empty() {
+                for &it in &prev_items {
+                    if items.len() >= len {
+                        break;
+                    }
+                    if rng.gen::<f64>() < self_correlation(config.correlation) {
+                        items.push(it);
+                    }
+                }
+            }
+            while items.len() < len {
+                let item = TermId::from(item_dist.sample(&mut rng));
+                if !items.contains(&item) {
+                    items.push(item);
+                }
+            }
+            // Exponentially distributed weight.
+            let weight = -(rng.gen::<f64>().max(1e-12)).ln();
+            // Corruption level: clipped normal around the configured mean.
+            let corruption = (config.corruption + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
+            prev_items = items.clone();
+            patterns.push(Pattern {
+                items,
+                weight,
+                corruption,
+            });
+        }
+        let len_sampler = PoissonSampler::new(config.avg_transaction_len);
+        QuestGenerator {
+            config,
+            patterns,
+            rng,
+            len_sampler,
+        }
+    }
+
+    /// Generates the full dataset.
+    pub fn generate(&mut self) -> Dataset {
+        let weights: Vec<f64> = self.patterns.iter().map(|p| p.weight).collect();
+        let mut records = Vec::with_capacity(self.config.num_transactions);
+        let max_len = self.config.domain_size.max(1) as u64;
+        while records.len() < self.config.num_transactions {
+            let target_len = self.len_sampler.sample_clamped(&mut self.rng, 1, max_len) as usize;
+            let mut items: Vec<TermId> = Vec::with_capacity(target_len + 4);
+            let mut guard = 0;
+            while items.len() < target_len && guard < 10 * target_len + 20 {
+                guard += 1;
+                let p_idx = sample_weighted(&mut self.rng, &weights);
+                let pattern = &self.patterns[p_idx];
+                // Corrupt the pattern: drop each item with probability `corruption`.
+                let kept: Vec<TermId> = pattern
+                    .items
+                    .iter()
+                    .copied()
+                    .filter(|_| self.rng.gen::<f64>() >= pattern.corruption)
+                    .collect();
+                if kept.is_empty() {
+                    continue;
+                }
+                // Quest: if the pattern does not fit, keep it anyway half the time.
+                if items.len() + kept.len() > target_len && self.rng.gen::<bool>() && !items.is_empty() {
+                    continue;
+                }
+                for it in kept {
+                    if !items.contains(&it) {
+                        items.push(it);
+                    }
+                }
+            }
+            if items.is_empty() {
+                // Guarantee non-empty records (the anonymization model
+                // requires valid, non-empty original records).
+                let fallback = TermId::from(self.rng.gen_range(0..self.config.domain_size));
+                items.push(fallback);
+            }
+            records.push(Record::from_ids(items));
+        }
+        Dataset::from_records(records)
+    }
+
+    /// Convenience: build + generate in one call.
+    pub fn generate_with(config: QuestConfig) -> Dataset {
+        QuestGenerator::new(config).generate()
+    }
+
+    /// The configuration used by this generator.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+}
+
+#[inline]
+fn self_correlation(correlation: f64) -> f64 {
+    correlation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_number_of_records() {
+        let cfg = QuestConfig {
+            num_transactions: 500,
+            domain_size: 200,
+            ..QuestConfig::default()
+        };
+        let d = QuestGenerator::generate_with(cfg);
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn all_terms_are_within_domain_and_records_non_empty() {
+        let cfg = QuestConfig {
+            num_transactions: 300,
+            domain_size: 100,
+            ..QuestConfig::default()
+        };
+        let d = QuestGenerator::generate_with(cfg);
+        for r in d.iter() {
+            assert!(!r.is_empty());
+            assert!(r.iter().all(|t| t.index() < 100));
+        }
+    }
+
+    #[test]
+    fn average_record_length_tracks_configuration() {
+        let cfg = QuestConfig {
+            num_transactions: 3_000,
+            domain_size: 1_000,
+            avg_transaction_len: 10.0,
+            ..QuestConfig::default()
+        };
+        let d = QuestGenerator::generate_with(cfg);
+        let avg = d.avg_record_len();
+        assert!(
+            (5.0..=14.0).contains(&avg),
+            "average record length {avg} too far from configured 10"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let cfg = QuestConfig {
+            num_transactions: 200,
+            domain_size: 150,
+            seed: 99,
+            ..QuestConfig::default()
+        };
+        let a = QuestGenerator::generate_with(cfg.clone());
+        let b = QuestGenerator::generate_with(cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = QuestConfig {
+            num_transactions: 200,
+            domain_size: 150,
+            ..QuestConfig::default()
+        };
+        let a = QuestGenerator::generate_with(QuestConfig { seed: 1, ..base.clone() });
+        let b = QuestGenerator::generate_with(QuestConfig { seed: 2, ..base });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn support_distribution_is_skewed() {
+        let cfg = QuestConfig {
+            num_transactions: 2_000,
+            domain_size: 500,
+            ..QuestConfig::default()
+        };
+        let d = QuestGenerator::generate_with(cfg);
+        let supports = d.supports();
+        let ordered = supports.terms_by_descending_support();
+        assert!(!ordered.is_empty());
+        let top = supports.support(ordered[0]);
+        let median = supports.support(ordered[ordered.len() / 2]);
+        assert!(top >= 4 * median.max(1), "expected a skewed distribution: top={top} median={median}");
+    }
+
+    #[test]
+    fn paper_default_matches_published_parameters() {
+        let cfg = QuestConfig::paper_default(20);
+        assert_eq!(cfg.num_transactions, 50_000);
+        assert_eq!(cfg.domain_size, 5_000);
+        assert_eq!(cfg.avg_transaction_len, 10.0);
+        assert!(QuestConfig::paper_default(1).num_transactions == 1_000_000);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(QuestConfig { num_transactions: 0, ..QuestConfig::default() }.validate().is_err());
+        assert!(QuestConfig { domain_size: 0, ..QuestConfig::default() }.validate().is_err());
+        assert!(QuestConfig { corruption: 1.5, ..QuestConfig::default() }.validate().is_err());
+        assert!(QuestConfig { correlation: -0.1, ..QuestConfig::default() }.validate().is_err());
+        assert!(QuestConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Quest configuration")]
+    fn constructor_panics_on_invalid_config() {
+        let _ = QuestGenerator::new(QuestConfig { num_patterns: 0, ..QuestConfig::default() });
+    }
+}

@@ -1,0 +1,229 @@
+//! Distribution samplers used by the synthetic generators.
+//!
+//! Only `rand` is available offline, so the Zipf and Poisson samplers are
+//! implemented here directly (inverse-CDF table for Zipf, Knuth's product
+//! method with a normal fallback for Poisson).
+
+use rand::Rng;
+
+/// Zipf(α) sampler over ranks `1..=n` using a precomputed inverse CDF.
+///
+/// Term-frequency distributions of query logs and retail baskets are heavily
+/// skewed; a Zipf exponent around 0.8–1.1 matches the shape of the POS / WV1 /
+/// WV2 support distributions that drive the paper's information-loss results.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `alpha` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite/positive.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs a non-empty domain");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a 0-based rank (0 is the most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a 0-based rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// Poisson(λ) sampler.
+///
+/// Quest draws both transaction lengths and pattern lengths from Poisson
+/// distributions around the configured averages.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonSampler {
+    lambda: f64,
+}
+
+impl PoissonSampler {
+    /// Creates a sampler with mean `lambda` (> 0).
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        PoissonSampler { lambda }
+    }
+
+    /// The mean of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Samples a value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's product method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation for large λ.
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = self.lambda + z * self.lambda.sqrt();
+            v.max(0.0).round() as u64
+        }
+    }
+
+    /// Samples a value clamped to `min..=max`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, min: u64, max: u64) -> u64 {
+        self.sample(rng).clamp(min, max)
+    }
+}
+
+/// Samples an index from explicit (unnormalized, non-negative) weights.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_probable() {
+        let z = ZipfSampler::new(50, 0.9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_skew_low() {
+        let z = ZipfSampler::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut low = 0usize;
+        for _ in 0..2000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 20);
+            if r < 5 {
+                low += 1;
+            }
+        }
+        // With α=1 over 20 ranks, the top-5 ranks carry ~63% of the mass.
+        assert!(low > 1000, "low-rank mass too small: {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_domain() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda_small() {
+        let p = PoissonSampler::new(5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda_large() {
+        let p = PoissonSampler::new(80.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 80.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_clamped_respects_bounds() {
+        let p = PoissonSampler::new(3.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let v = p.sample_clamped(&mut rng, 1, 6);
+            assert!((1..=6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 10.0, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 900);
+    }
+
+    #[test]
+    fn weighted_sampling_handles_all_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [0.0, 0.0];
+        let idx = sample_weighted(&mut rng, &weights);
+        assert!(idx < 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Level-wise Apriori frequent itemset mining.
+//!
+//! Kept deliberately simple and allocation-friendly: it is the *reference*
+//! miner that the FP-growth implementation is validated against, and it is
+//! fast enough for the chunk-level mining the anonymity checks perform.
+
+use crate::FrequentItemset;
+use std::collections::HashMap;
+
+/// Mines all itemsets with support ≥ `min_support` and size ≤ `max_len`.
+///
+/// * `transactions` — item lists; items inside one transaction are treated
+///   with set semantics (duplicates ignored).
+/// * `min_support` — absolute support threshold (number of transactions).
+/// * `max_len` — maximum itemset size to mine (0 means "no itemsets").
+pub fn mine_frequent_apriori(
+    transactions: &[Vec<u32>],
+    min_support: u64,
+    max_len: usize,
+) -> Vec<FrequentItemset> {
+    if max_len == 0 || transactions.is_empty() || min_support == 0 {
+        // min_support 0 would enumerate the powerset; treat it as 1.
+        if max_len == 0 || transactions.is_empty() {
+            return Vec::new();
+        }
+    }
+    let min_support = min_support.max(1);
+
+    // Canonical transactions: sorted, deduplicated.
+    let canon: Vec<Vec<u32>> = transactions
+        .iter()
+        .map(|t| {
+            let mut v = t.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+
+    let mut results: Vec<FrequentItemset> = Vec::new();
+
+    // Level 1: singleton counts.
+    let mut singleton_counts: HashMap<u32, u64> = HashMap::new();
+    for t in &canon {
+        for &item in t {
+            *singleton_counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut frequent_prev: Vec<Vec<u32>> = Vec::new();
+    let mut level1: Vec<(u32, u64)> = singleton_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
+    level1.sort_unstable();
+    for (item, count) in level1 {
+        results.push(FrequentItemset {
+            items: vec![item],
+            support: count,
+        });
+        frequent_prev.push(vec![item]);
+    }
+
+    // Levels 2..=max_len.
+    let mut level = 2usize;
+    while level <= max_len && !frequent_prev.is_empty() {
+        let candidates = generate_candidates(&frequent_prev);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::with_capacity(candidates.len());
+        for c in &candidates {
+            counts.insert(c.clone(), 0);
+        }
+        for t in &canon {
+            if t.len() < level {
+                continue;
+            }
+            for c in &candidates {
+                if is_subset_sorted(c, t) {
+                    if let Some(slot) = counts.get_mut(c) {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
+        let mut next: Vec<Vec<u32>> = Vec::new();
+        let mut level_results: Vec<FrequentItemset> = Vec::new();
+        for (items, count) in counts {
+            if count >= min_support {
+                next.push(items.clone());
+                level_results.push(FrequentItemset { items, support: count });
+            }
+        }
+        next.sort_unstable();
+        level_results.sort_by(|a, b| a.items.cmp(&b.items));
+        results.extend(level_results);
+        frequent_prev = next;
+        level += 1;
+    }
+    results
+}
+
+/// Classic Apriori candidate generation: join frequent (k-1)-itemsets that
+/// share their first k-2 items, then prune candidates with an infrequent
+/// (k-1)-subset.
+fn generate_candidates(frequent_prev: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    use std::collections::HashSet;
+    let prev_set: HashSet<&[u32]> = frequent_prev.iter().map(|v| v.as_slice()).collect();
+    let mut candidates = Vec::new();
+    for i in 0..frequent_prev.len() {
+        for j in (i + 1)..frequent_prev.len() {
+            let a = &frequent_prev[i];
+            let b = &frequent_prev[j];
+            let k = a.len();
+            if k == 0 || a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let (last_a, last_b) = (a[k - 1], b[k - 1]);
+            let mut cand = a.clone();
+            if last_a < last_b {
+                cand.push(last_b);
+            } else {
+                continue; // the symmetric pair will be generated from (j, i) ordering
+            }
+            // Prune: every (k)-subset obtained by dropping one element must be frequent.
+            let mut all_subsets_frequent = true;
+            for drop in 0..cand.len() {
+                let mut sub = cand.clone();
+                sub.remove(drop);
+                if !prev_set.contains(sub.as_slice()) {
+                    all_subsets_frequent = false;
+                    break;
+                }
+            }
+            if all_subsets_frequent {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack`.
+fn is_subset_sorted(needle: &[u32], haystack: &[u32]) -> bool {
+    let mut hi = 0usize;
+    'outer: for &n in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&n) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Brute-force miner used as an oracle in tests (exponential; small inputs
+/// only).
+#[doc(hidden)]
+pub fn mine_frequent_bruteforce(
+    transactions: &[Vec<u32>],
+    min_support: u64,
+    max_len: usize,
+) -> Vec<FrequentItemset> {
+    use std::collections::{HashMap, HashSet};
+    let min_support = min_support.max(1);
+    let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+    for t in transactions {
+        let items: Vec<u32> = {
+            let set: HashSet<u32> = t.iter().copied().collect();
+            let mut v: Vec<u32> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let n = items.len();
+        // Enumerate all non-empty subsets up to max_len.
+        fn rec(items: &[u32], start: usize, max_len: usize, cur: &mut Vec<u32>, counts: &mut HashMap<Vec<u32>, u64>) {
+            for i in start..items.len() {
+                cur.push(items[i]);
+                *counts.entry(cur.clone()).or_insert(0) += 1;
+                if cur.len() < max_len {
+                    rec(items, i + 1, max_len, cur, counts);
+                }
+                cur.pop();
+            }
+        }
+        if n > 0 && max_len > 0 {
+            rec(&items, 0, max_len, &mut Vec::new(), &mut counts);
+        }
+    }
+    let mut out: Vec<FrequentItemset> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .map(|(items, support)| FrequentItemset { items, support })
+        .collect();
+    out.sort_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(data: &[&[u32]]) -> Vec<Vec<u32>> {
+        data.iter().map(|t| t.to_vec()).collect()
+    }
+
+    fn normalized(mut v: Vec<FrequentItemset>) -> Vec<(Vec<u32>, u64)> {
+        v.sort_by(|a, b| a.items.cmp(&b.items));
+        v.into_iter().map(|f| (f.items, f.support)).collect()
+    }
+
+    #[test]
+    fn textbook_example() {
+        // The classic {bread, milk, beer} style example.
+        let t = tx(&[
+            &[1, 2, 3],
+            &[1, 2],
+            &[1, 3],
+            &[2, 3],
+            &[1, 2, 3, 4],
+        ]);
+        let result = mine_frequent_apriori(&t, 3, 3);
+        let map: std::collections::HashMap<Vec<u32>, u64> =
+            result.into_iter().map(|f| (f.items, f.support)).collect();
+        assert_eq!(map[&vec![1]], 4);
+        assert_eq!(map[&vec![2]], 4);
+        assert_eq!(map[&vec![3]], 4);
+        assert_eq!(map[&vec![1, 2]], 3);
+        assert_eq!(map[&vec![1, 3]], 3);
+        assert_eq!(map[&vec![2, 3]], 3);
+        assert!(!map.contains_key(&vec![4]));
+        assert!(!map.contains_key(&vec![1, 2, 3]), "support 2 < 3");
+    }
+
+    #[test]
+    fn max_len_limits_itemset_size() {
+        let t = tx(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        let result = mine_frequent_apriori(&t, 2, 2);
+        assert!(result.iter().all(|f| f.len() <= 2));
+        let result3 = mine_frequent_apriori(&t, 2, 3);
+        assert!(result3.iter().any(|f| f.len() == 3));
+    }
+
+    #[test]
+    fn duplicates_within_a_transaction_do_not_inflate_support() {
+        let t = tx(&[&[1, 1, 2], &[1, 2]]);
+        let result = mine_frequent_apriori(&t, 2, 2);
+        let map: std::collections::HashMap<Vec<u32>, u64> =
+            result.into_iter().map(|f| (f.items, f.support)).collect();
+        assert_eq!(map[&vec![1]], 2);
+        assert_eq!(map[&vec![1, 2]], 2);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nothing() {
+        assert!(mine_frequent_apriori(&[], 1, 3).is_empty());
+        assert!(mine_frequent_apriori(&tx(&[&[1]]), 1, 0).is_empty());
+        assert!(mine_frequent_apriori(&tx(&[&[]]), 1, 3).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_small_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for case in 0..20 {
+            let n_tx = rng.gen_range(1..20);
+            let t: Vec<Vec<u32>> = (0..n_tx)
+                .map(|_| {
+                    let len = rng.gen_range(0..6);
+                    (0..len).map(|_| rng.gen_range(0..8)).collect()
+                })
+                .collect();
+            let min_support = rng.gen_range(1..4);
+            let apriori = normalized(mine_frequent_apriori(&t, min_support, 3));
+            let brute = normalized(mine_frequent_bruteforce(&t, min_support, 3));
+            assert_eq!(apriori, brute, "case {case} min_support {min_support} tx {t:?}");
+        }
+    }
+
+    #[test]
+    fn is_subset_sorted_edge_cases() {
+        assert!(is_subset_sorted(&[], &[1, 2]));
+        assert!(is_subset_sorted(&[2], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[4], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1], &[]));
+        assert!(is_subset_sorted(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1, 4], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn candidate_generation_prunes_infrequent_subsets() {
+        // {1,2} and {1,3} frequent but {2,3} not → {1,2,3} must be pruned.
+        let prev = vec![vec![1, 2], vec![1, 3]];
+        let cands = generate_candidates(&prev);
+        assert!(cands.is_empty());
+        // With {2,3} present the join survives.
+        let prev = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        let cands = generate_candidates(&prev);
+        assert_eq!(cands, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Exact top-K frequent itemset extraction.
+//!
+//! The tKd metric (Section 6, Equation 2) compares the *top-1000* frequent
+//! itemsets of the original and anonymized data.  Top-K mining is reduced to
+//! threshold mining with a provably sufficient threshold:
+//!
+//! 1. count singleton supports and let `θ` be the K-th largest singleton
+//!    support (1 when there are fewer than K items);
+//! 2. mine all itemsets with support ≥ `θ` — every member of the true top-K
+//!    has support ≥ the K-th largest itemset support, which is ≥ `θ` because
+//!    the K most frequent singletons are themselves itemsets;
+//! 3. sort canonically and keep the first K.
+
+use crate::{mine_frequent_apriori, mine_frequent_fpgrowth, sort_canonical, FrequentItemset};
+use std::collections::HashMap;
+
+/// Which mining algorithm to run underneath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinerKind {
+    /// FP-growth (default — fastest on the paper-scale datasets).
+    #[default]
+    FpGrowth,
+    /// Level-wise Apriori (reference implementation).
+    Apriori,
+}
+
+/// Configuration of a top-K mining run.
+#[derive(Debug, Clone)]
+pub struct TopKConfig {
+    /// How many itemsets to return (the paper uses 1000).
+    pub k: usize,
+    /// Maximum itemset length considered (the top-1000 of the evaluation
+    /// datasets are short; 4 is a safe default).
+    pub max_len: usize,
+    /// Mining algorithm.
+    pub miner: MinerKind,
+    /// Optional floor for the derived threshold, as a fraction of the number
+    /// of transactions.  Guards against pathological inputs where the K-th
+    /// singleton support is tiny and threshold mining would enumerate an
+    /// enormous number of itemsets.
+    pub min_relative_support: Option<f64>,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 1000,
+            max_len: 4,
+            miner: MinerKind::FpGrowth,
+            min_relative_support: None,
+        }
+    }
+}
+
+impl TopKConfig {
+    /// The configuration used throughout the paper's evaluation
+    /// (top-1000 frequent itemsets).
+    pub fn paper_default() -> Self {
+        TopKConfig::default()
+    }
+}
+
+/// Mines the top-`config.k` frequent itemsets of `transactions`.
+///
+/// Results are sorted by descending support (ties: shorter first, then
+/// lexicographic), truncated to K.
+pub fn top_k_frequent(transactions: &[Vec<u32>], config: &TopKConfig) -> Vec<FrequentItemset> {
+    if config.k == 0 || transactions.is_empty() {
+        return Vec::new();
+    }
+    let threshold = derive_threshold(transactions, config);
+    let mut mined = match config.miner {
+        MinerKind::FpGrowth => mine_frequent_fpgrowth(transactions, threshold, config.max_len),
+        MinerKind::Apriori => mine_frequent_apriori(transactions, threshold, config.max_len),
+    };
+    sort_canonical(&mut mined);
+    mined.truncate(config.k);
+    mined
+}
+
+/// Derives the mining threshold described in the module docs.
+fn derive_threshold(transactions: &[Vec<u32>], config: &TopKConfig) -> u64 {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for t in transactions {
+        let mut seen: Vec<u32> = t.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for item in seen {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut supports: Vec<u64> = counts.into_values().collect();
+    supports.sort_unstable_by(|a, b| b.cmp(a));
+    let kth = supports.get(config.k.saturating_sub(1)).copied().unwrap_or(1);
+    let floor = config
+        .min_relative_support
+        .map(|f| ((transactions.len() as f64) * f).ceil() as u64)
+        .unwrap_or(1)
+        .max(1);
+    kth.max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine_frequent_bruteforce;
+
+    fn tx(data: &[&[u32]]) -> Vec<Vec<u32>> {
+        data.iter().map(|t| t.to_vec()).collect()
+    }
+
+    #[test]
+    fn returns_at_most_k_results_sorted_by_support() {
+        let t = tx(&[&[1, 2], &[1, 2], &[1, 3], &[1], &[2]]);
+        let top = top_k_frequent(&t, &TopKConfig { k: 3, ..TopKConfig::default() });
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].support >= w[1].support));
+        assert_eq!(top[0].items, vec![1]);
+        assert_eq!(top[0].support, 4);
+    }
+
+    #[test]
+    fn top_k_matches_bruteforce_ranking() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n_tx = rng.gen_range(5..30);
+            let t: Vec<Vec<u32>> = (0..n_tx)
+                .map(|_| {
+                    let len = rng.gen_range(1..6);
+                    (0..len).map(|_| rng.gen_range(0..8)).collect()
+                })
+                .collect();
+            let k = 10;
+            let top = top_k_frequent(&t, &TopKConfig { k, max_len: 3, ..TopKConfig::default() });
+
+            let mut all = mine_frequent_bruteforce(&t, 1, 3);
+            sort_canonical(&mut all);
+            all.truncate(k);
+            // The exact itemsets can differ on support ties, but the support
+            // sequence (the ranking) must be identical.
+            let got: Vec<u64> = top.iter().map(|f| f.support).collect();
+            let want: Vec<u64> = all.iter().map(|f| f.support).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn both_miners_agree() {
+        let t = tx(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3], &[1, 2, 3]]);
+        let a = top_k_frequent(&t, &TopKConfig { k: 8, miner: MinerKind::Apriori, ..TopKConfig::default() });
+        let b = top_k_frequent(&t, &TopKConfig { k: 8, miner: MinerKind::FpGrowth, ..TopKConfig::default() });
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.items, y.items);
+            assert_eq!(x.support, y.support);
+        }
+    }
+
+    #[test]
+    fn zero_k_or_empty_input() {
+        assert!(top_k_frequent(&[], &TopKConfig::default()).is_empty());
+        let t = tx(&[&[1]]);
+        assert!(top_k_frequent(&t, &TopKConfig { k: 0, ..TopKConfig::default() }).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_available_itemsets() {
+        let t = tx(&[&[1], &[2]]);
+        let top = top_k_frequent(&t, &TopKConfig { k: 100, ..TopKConfig::default() });
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn relative_support_floor_is_applied() {
+        let t: Vec<Vec<u32>> = (0..100u32).map(|i| vec![i]).collect();
+        let cfg = TopKConfig {
+            k: 50,
+            min_relative_support: Some(0.05),
+            ..TopKConfig::default()
+        };
+        // Every item has support 1 < 5 (the floor), so nothing is mined.
+        assert!(top_k_frequent(&t, &cfg).is_empty());
+    }
+
+    #[test]
+    fn paper_default_is_top_1000() {
+        assert_eq!(TopKConfig::paper_default().k, 1000);
+    }
+}

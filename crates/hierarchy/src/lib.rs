@@ -1,0 +1,615 @@
+//! # hierarchy — generalization taxonomies over term domains
+//!
+//! Generalization-based anonymization (the Apriori baseline of the paper,
+//! [27]) and the DiffPart baseline [6] both need a *generalization hierarchy*
+//! over the term domain: a tree whose leaves are the original terms and whose
+//! internal nodes are progressively coarser categories (e.g. *New York* →
+//! *North America*).  The paper's tKd-ML2 metric also mines frequent itemsets
+//! at multiple levels of such a hierarchy.
+//!
+//! Real category hierarchies for the evaluation datasets are not available,
+//! so — exactly like the original experimental studies on set-valued
+//! generalization — the reproduction uses *balanced synthetic taxonomies*
+//! with a configurable fanout ([`Taxonomy::balanced`]).  User-supplied
+//! hierarchies can be built with [`TaxonomyBuilder`].
+//!
+//! Node identifiers ([`NodeId`]) share a single dense id space: ids
+//! `0..num_leaves` are the leaves (equal to the raw term ids) and larger ids
+//! are internal nodes; the largest id is the root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use transact::{Record, TermId};
+
+/// Identifier of a taxonomy node (leaf or internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id of a leaf term.
+    #[inline]
+    pub fn from_term(t: TermId) -> Self {
+        NodeId(t.raw())
+    }
+
+    /// The node id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A generalization hierarchy: a rooted tree whose leaves are the term
+/// domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Taxonomy {
+    /// `parent[i]` is the parent of node `i`; the root has `None`.
+    parent: Vec<Option<NodeId>>,
+    /// Children of each node (leaves have none).
+    children: Vec<Vec<NodeId>>,
+    /// Height of each node above the leaf level (leaves are 0).
+    level: Vec<u32>,
+    /// Number of leaves (= size of the term domain covered).
+    num_leaves: usize,
+    /// Number of leaf descendants of each node (1 for leaves).
+    leaf_counts: Vec<u32>,
+}
+
+impl Taxonomy {
+    /// Builds a balanced taxonomy over `domain_size` leaves with the given
+    /// `fanout` (each internal node has up to `fanout` children).
+    ///
+    /// # Panics
+    /// Panics when `domain_size == 0` or `fanout < 2`.
+    pub fn balanced(domain_size: usize, fanout: usize) -> Self {
+        assert!(domain_size > 0, "taxonomy needs at least one leaf");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let mut parent: Vec<Option<NodeId>> = vec![None; domain_size];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); domain_size];
+        let mut level: Vec<u32> = vec![0; domain_size];
+
+        // Current frontier: nodes without a parent yet.
+        let mut frontier: Vec<NodeId> = (0..domain_size as u32).map(NodeId).collect();
+        let mut current_level = 0u32;
+        while frontier.len() > 1 {
+            current_level += 1;
+            let mut next = Vec::with_capacity(frontier.len() / fanout + 1);
+            for group in frontier.chunks(fanout) {
+                let new_id = NodeId(parent.len() as u32);
+                parent.push(None);
+                children.push(group.to_vec());
+                level.push(current_level);
+                for &child in group {
+                    parent[child.index()] = Some(new_id);
+                }
+                next.push(new_id);
+            }
+            frontier = next;
+        }
+        let mut tax = Taxonomy {
+            parent,
+            children,
+            level,
+            num_leaves: domain_size,
+            leaf_counts: Vec::new(),
+        };
+        tax.leaf_counts = tax.compute_leaf_counts();
+        tax
+    }
+
+    fn compute_leaf_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.parent.len()];
+        // Nodes are created bottom-up (children always have smaller ids than
+        // their parent), so one forward pass suffices.
+        for id in 0..self.parent.len() {
+            if self.children[id].is_empty() {
+                counts[id] = 1;
+            } else {
+                counts[id] = self.children[id].iter().map(|c| counts[c.index()]).sum();
+            }
+        }
+        counts
+    }
+
+    /// Total number of nodes (leaves + internal).
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId((self.parent.len() - 1) as u32)
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        node.index() < self.num_leaves
+    }
+
+    /// The parent of `node` (`None` for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(node.index()).copied().flatten()
+    }
+
+    /// The children of `node` (empty for leaves).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// The height of `node` above the leaves (0 for leaves).
+    pub fn level(&self, node: NodeId) -> u32 {
+        self.level[node.index()]
+    }
+
+    /// The height of the whole taxonomy (level of the root).
+    pub fn height(&self) -> u32 {
+        self.level(self.root())
+    }
+
+    /// Number of leaf descendants of `node`.
+    pub fn leaf_count(&self, node: NodeId) -> u32 {
+        self.leaf_counts[node.index()]
+    }
+
+    /// All ancestors of `node`, nearest first, up to and including the root.
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The ancestor of `node` at `level` (or the root when the taxonomy is
+    /// shallower).  Passing the node's own level returns the node itself.
+    pub fn ancestor_at_level(&self, node: NodeId, level: u32) -> NodeId {
+        let mut cur = node;
+        while self.level(cur) < level {
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// The leaves (terms) below `node`.
+    pub fn leaves_under(&self, node: NodeId) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                out.push(TermId::new(n.0));
+            } else {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `ancestor` is on the path from `node` to the root (a node is
+    /// considered its own ancestor).
+    pub fn is_ancestor_of(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = node;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Extends a record with all the ancestors of its terms — the *extended
+    /// transaction* used when mining generalized frequent itemsets for the
+    /// tKd-ML2 metric (multi-level mining à la Han & Fu).
+    pub fn extend_record(&self, record: &Record) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(record.len() * 2);
+        for t in record.iter() {
+            if t.index() >= self.num_leaves {
+                continue; // term outside the covered domain
+            }
+            let leaf = NodeId::from_term(t);
+            nodes.push(leaf);
+            nodes.extend(self.ancestors(leaf));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// A *generalization cut*: a mapping from every leaf term to the taxonomy
+/// node currently representing it in the published (generalized) data.
+///
+/// The Apriori baseline starts from the identity cut and moves terms upward
+/// until every combination of up to `m` generalized items is k-frequent.
+#[derive(Debug, Clone)]
+pub struct GeneralizationCut<'a> {
+    taxonomy: &'a Taxonomy,
+    /// `mapping[t]` = node currently representing leaf `t`.
+    mapping: Vec<NodeId>,
+}
+
+impl<'a> GeneralizationCut<'a> {
+    /// The identity cut (no generalization).
+    pub fn identity(taxonomy: &'a Taxonomy) -> Self {
+        GeneralizationCut {
+            taxonomy,
+            mapping: (0..taxonomy.num_leaves() as u32).map(NodeId).collect(),
+        }
+    }
+
+    /// The taxonomy this cut refers to.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        self.taxonomy
+    }
+
+    /// The node currently representing `term`.
+    pub fn map_term(&self, term: TermId) -> NodeId {
+        self.mapping
+            .get(term.index())
+            .copied()
+            .unwrap_or_else(|| self.taxonomy.root())
+    }
+
+    /// Generalizes the representative of `term` one level up, moving *all*
+    /// leaves under the new representative with it (full-subtree recoding —
+    /// the recoding model of the Apriori algorithm [27]).
+    ///
+    /// Returns the new representative, or `None` when the term is already at
+    /// the root.
+    pub fn generalize_term(&mut self, term: TermId) -> Option<NodeId> {
+        let current = self.map_term(term);
+        let parent = self.taxonomy.parent(current)?;
+        for leaf in self.taxonomy.leaves_under(parent) {
+            if leaf.index() < self.mapping.len() {
+                self.mapping[leaf.index()] = parent;
+            }
+        }
+        Some(parent)
+    }
+
+    /// Generalizes a whole node one level up (all leaves under its parent).
+    pub fn generalize_node(&mut self, node: NodeId) -> Option<NodeId> {
+        let parent = self.taxonomy.parent(node)?;
+        for leaf in self.taxonomy.leaves_under(parent) {
+            if leaf.index() < self.mapping.len() {
+                self.mapping[leaf.index()] = parent;
+            }
+        }
+        Some(parent)
+    }
+
+    /// Applies the cut to a record, producing its generalized form (a sorted,
+    /// deduplicated set of node ids).
+    pub fn generalize_record(&self, record: &Record) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = record.iter().map(|t| self.map_term(t)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The set of distinct representative nodes currently in use.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.mapping.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Number of original terms represented by `node` under this cut.
+    pub fn terms_mapped_to(&self, node: NodeId) -> usize {
+        self.mapping.iter().filter(|&&n| n == node).count()
+    }
+
+    /// The average generalization level of the cut (0 = no generalization),
+    /// a simple information-loss indicator.
+    pub fn average_level(&self) -> f64 {
+        if self.mapping.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .mapping
+            .iter()
+            .map(|&n| self.taxonomy.level(n) as u64)
+            .sum();
+        total as f64 / self.mapping.len() as f64
+    }
+
+    /// Whether every term is generalized to the root (maximum loss).
+    pub fn is_fully_generalized(&self) -> bool {
+        let root = self.taxonomy.root();
+        self.mapping.iter().all(|&n| n == root)
+    }
+}
+
+/// Builder for hand-crafted taxonomies (used by tests and by callers with a
+/// real category hierarchy).
+#[derive(Debug, Default)]
+pub struct TaxonomyBuilder {
+    /// parent name for each node name.
+    parents: HashMap<String, String>,
+    /// insertion order of leaf names.
+    leaves: Vec<String>,
+}
+
+impl TaxonomyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a leaf term (in term-id order: the i-th declared leaf gets
+    /// term id `i`).
+    pub fn leaf(&mut self, name: &str, parent: &str) -> &mut Self {
+        self.leaves.push(name.to_owned());
+        self.parents.insert(name.to_owned(), parent.to_owned());
+        self
+    }
+
+    /// Declares an internal node and its parent.
+    pub fn internal(&mut self, name: &str, parent: &str) -> &mut Self {
+        self.parents.insert(name.to_owned(), parent.to_owned());
+        self
+    }
+
+    /// Builds the taxonomy rooted at `root_name`.
+    ///
+    /// Returns an error if some node references an undeclared parent or the
+    /// structure is not a tree rooted at `root_name`.
+    pub fn build(&self, root_name: &str) -> Result<Taxonomy, String> {
+        // Assign ids: leaves first (in declaration order), then internal
+        // nodes in a topological order so children precede their parents.
+        let mut names: Vec<String> = self.leaves.clone();
+        let mut internal: Vec<String> = self
+            .parents
+            .values()
+            .chain(std::iter::once(&root_name.to_owned()))
+            .filter(|n| !self.leaves.contains(*n))
+            .cloned()
+            .collect();
+        internal.sort();
+        internal.dedup();
+        // Order internal nodes by depth (deepest first) so ids grow towards
+        // the root, matching the balanced constructor's invariant.
+        let depth = |name: &str| -> usize {
+            let mut d = 0;
+            let mut cur = name.to_owned();
+            while let Some(p) = self.parents.get(&cur) {
+                d += 1;
+                cur = p.clone();
+                if d > self.parents.len() + 1 {
+                    return usize::MAX; // cycle; surfaces as an error below
+                }
+            }
+            d
+        };
+        internal.sort_by_key(|n| std::cmp::Reverse(depth(n)));
+        names.extend(internal);
+
+        let id_of: HashMap<&str, NodeId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), NodeId(i as u32)))
+            .collect();
+        let root_id = *id_of
+            .get(root_name)
+            .ok_or_else(|| format!("root {root_name:?} never referenced"))?;
+        if root_id.index() != names.len() - 1 {
+            return Err(format!("root {root_name:?} must be the unique top node"));
+        }
+
+        let mut parent: Vec<Option<NodeId>> = vec![None; names.len()];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); names.len()];
+        for (name, pname) in &self.parents {
+            let child = *id_of
+                .get(name.as_str())
+                .ok_or_else(|| format!("unknown node {name:?}"))?;
+            let par = *id_of
+                .get(pname.as_str())
+                .ok_or_else(|| format!("unknown parent {pname:?} of {name:?}"))?;
+            if child.index() >= par.index() {
+                return Err(format!("node {name:?} must have a smaller id than its parent {pname:?} (is the hierarchy a tree?)"));
+            }
+            parent[child.index()] = Some(par);
+            children[par.index()].push(child);
+        }
+        let mut level = vec![0u32; names.len()];
+        for id in 0..names.len() {
+            if !children[id].is_empty() {
+                level[id] = children[id].iter().map(|c| level[c.index()]).max().unwrap_or(0) + 1;
+            }
+        }
+        let mut tax = Taxonomy {
+            parent,
+            children,
+            level,
+            num_leaves: self.leaves.len(),
+            leaf_counts: Vec::new(),
+        };
+        tax.leaf_counts = tax.compute_leaf_counts();
+        Ok(tax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_taxonomy_shape() {
+        let tax = Taxonomy::balanced(8, 2);
+        assert_eq!(tax.num_leaves(), 8);
+        // 8 leaves + 4 + 2 + 1 internal = 15 nodes, height 3.
+        assert_eq!(tax.num_nodes(), 15);
+        assert_eq!(tax.height(), 3);
+        assert_eq!(tax.leaf_count(tax.root()), 8);
+        assert!(tax.parent(tax.root()).is_none());
+    }
+
+    #[test]
+    fn balanced_taxonomy_with_non_power_domain() {
+        let tax = Taxonomy::balanced(10, 3);
+        assert_eq!(tax.num_leaves(), 10);
+        assert_eq!(tax.leaf_count(tax.root()), 10);
+        // Every node except the root has a parent.
+        for i in 0..tax.num_nodes() - 1 {
+            assert!(tax.parent(NodeId(i as u32)).is_some());
+        }
+    }
+
+    #[test]
+    fn ancestors_path_reaches_root() {
+        let tax = Taxonomy::balanced(8, 2);
+        let leaf = NodeId(0);
+        let ancestors = tax.ancestors(leaf);
+        assert_eq!(ancestors.len() as u32, tax.height());
+        assert_eq!(*ancestors.last().unwrap(), tax.root());
+        assert!(tax.is_ancestor_of(tax.root(), leaf));
+        assert!(tax.is_ancestor_of(leaf, leaf));
+        assert!(!tax.is_ancestor_of(leaf, tax.root()));
+    }
+
+    #[test]
+    fn leaves_under_internal_node() {
+        let tax = Taxonomy::balanced(8, 2);
+        let leaf0 = NodeId(0);
+        let parent = tax.parent(leaf0).unwrap();
+        let leaves = tax.leaves_under(parent);
+        assert_eq!(leaves, vec![TermId::new(0), TermId::new(1)]);
+        assert_eq!(tax.leaf_count(parent), 2);
+    }
+
+    #[test]
+    fn ancestor_at_level_walks_up() {
+        let tax = Taxonomy::balanced(8, 2);
+        let leaf = NodeId(5);
+        assert_eq!(tax.ancestor_at_level(leaf, 0), leaf);
+        let l2 = tax.ancestor_at_level(leaf, 2);
+        assert_eq!(tax.level(l2), 2);
+        assert_eq!(tax.ancestor_at_level(leaf, 99), tax.root());
+    }
+
+    #[test]
+    fn extend_record_adds_all_ancestors() {
+        let tax = Taxonomy::balanced(4, 2);
+        let rec = Record::from_ids([TermId::new(0), TermId::new(3)]);
+        let extended = tax.extend_record(&rec);
+        // 2 leaves + 2 distinct level-1 parents + root = 5 nodes.
+        assert_eq!(extended.len(), 5);
+        assert!(extended.contains(&tax.root()));
+    }
+
+    #[test]
+    fn identity_cut_maps_terms_to_themselves() {
+        let tax = Taxonomy::balanced(6, 2);
+        let cut = GeneralizationCut::identity(&tax);
+        assert_eq!(cut.map_term(TermId::new(3)), NodeId(3));
+        assert_eq!(cut.average_level(), 0.0);
+        assert!(!cut.is_fully_generalized());
+    }
+
+    #[test]
+    fn generalize_term_moves_whole_sibling_group() {
+        let tax = Taxonomy::balanced(4, 2);
+        let mut cut = GeneralizationCut::identity(&tax);
+        let new_node = cut.generalize_term(TermId::new(0)).unwrap();
+        assert_eq!(tax.level(new_node), 1);
+        // Sibling leaf 1 is pulled up too (full-subtree recoding).
+        assert_eq!(cut.map_term(TermId::new(0)), new_node);
+        assert_eq!(cut.map_term(TermId::new(1)), new_node);
+        assert_eq!(cut.map_term(TermId::new(2)), NodeId(2));
+        assert_eq!(cut.terms_mapped_to(new_node), 2);
+    }
+
+    #[test]
+    fn repeated_generalization_reaches_the_root() {
+        let tax = Taxonomy::balanced(4, 2);
+        let mut cut = GeneralizationCut::identity(&tax);
+        cut.generalize_term(TermId::new(0)).unwrap();
+        cut.generalize_term(TermId::new(0)).unwrap();
+        assert!(cut.generalize_term(TermId::new(0)).is_none(), "already at root");
+        // Generalizing to the root pulls every leaf with it in a 1-level-deep
+        // sibling group of the root... only leaves under root move: all.
+        assert!(cut.is_fully_generalized());
+        assert_eq!(cut.average_level() as u32, tax.height());
+    }
+
+    #[test]
+    fn generalize_record_deduplicates() {
+        let tax = Taxonomy::balanced(4, 2);
+        let mut cut = GeneralizationCut::identity(&tax);
+        cut.generalize_term(TermId::new(0)).unwrap(); // 0 and 1 now share a node
+        let rec = Record::from_ids([TermId::new(0), TermId::new(1), TermId::new(2)]);
+        let gen = cut.generalize_record(&rec);
+        assert_eq!(gen.len(), 2);
+    }
+
+    #[test]
+    fn active_nodes_shrink_as_we_generalize() {
+        let tax = Taxonomy::balanced(8, 2);
+        let mut cut = GeneralizationCut::identity(&tax);
+        assert_eq!(cut.active_nodes().len(), 8);
+        cut.generalize_term(TermId::new(0)).unwrap();
+        assert_eq!(cut.active_nodes().len(), 7);
+    }
+
+    #[test]
+    fn builder_constructs_custom_taxonomy() {
+        let mut b = TaxonomyBuilder::new();
+        b.leaf("new_york", "north_america")
+            .leaf("boston", "north_america")
+            .leaf("paris", "europe")
+            .internal("north_america", "world")
+            .internal("europe", "world");
+        let tax = b.build("world").unwrap();
+        assert_eq!(tax.num_leaves(), 3);
+        assert_eq!(tax.leaf_count(tax.root()), 3);
+        assert_eq!(tax.height(), 2);
+        let ny = NodeId(0);
+        let na = tax.parent(ny).unwrap();
+        assert_eq!(tax.leaves_under(na), vec![TermId::new(0), TermId::new(1)]);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_parent() {
+        let mut b = TaxonomyBuilder::new();
+        b.leaf("a", "missing_parent");
+        assert!(b.build("missing_parent").is_ok(), "parent that is the root is fine");
+        let mut b2 = TaxonomyBuilder::new();
+        b2.leaf("a", "ghost").internal("other", "root2");
+        assert!(b2.build("root2").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn balanced_rejects_empty_domain() {
+        let _ = Taxonomy::balanced(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn balanced_rejects_unary_fanout() {
+        let _ = Taxonomy::balanced(4, 1);
+    }
+}

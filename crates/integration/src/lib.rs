@@ -1,0 +1,5 @@
+//! Anchor crate for the repository-level integration tests in `tests/`.
+//!
+//! Cargo integration tests must belong to a package; this crate exists only
+//! to host the `[[test]]` targets that point at the top-level `tests/`
+//! directory (see `Cargo.toml`).

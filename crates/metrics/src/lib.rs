@@ -1,0 +1,35 @@
+//! # metrics — information-loss metrics of the paper's evaluation
+//!
+//! Section 6 of the paper defines the metrics used throughout Section 7:
+//!
+//! * **tKd** (Equation 2): the fraction of the original data's top-K frequent
+//!   itemsets missing from the anonymized data's top-K.  Variants:
+//!   * `tKd`   — computed on a random reconstructed dataset,
+//!   * `tKd-a` — computed only from the subrecords published in record and
+//!     shared chunks (itemsets certain to exist in *any* reconstruction),
+//!   * `tKd-ML2` — computed on *generalized* frequent itemsets mined at all
+//!     levels of a taxonomy (needed to compare against generalization-based
+//!     methods, which publish no original terms).
+//! * **re** (Equation 3): the relative error of the supports of 2-term
+//!   combinations, `|so − sp| / avg(so, sp)`, evaluated over the pairs of a
+//!   window of the support-ordered domain (the paper uses the 200th–220th
+//!   most frequent terms).  Variants `re-a` (chunk lower bounds) and
+//!   `re-rN` (supports averaged over N reconstructions).
+//! * **tlost**: the fraction of terms that have support ≥ k in the original
+//!   dataset but were nevertheless published only in term chunks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loss_report;
+pub mod re;
+pub mod tkd;
+pub mod tlost;
+
+pub use loss_report::{InformationLoss, LossConfig};
+pub use re::{
+    pair_window, relative_error, relative_error_chunks, relative_error_datasets,
+    relative_error_averaged,
+};
+pub use tkd::{tkd_chunks, tkd_datasets, tkd_itemsets, tkd_ml2, TkdConfig};
+pub use tlost::tlost;

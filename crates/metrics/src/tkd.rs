@@ -1,0 +1,303 @@
+//! Top-K frequent itemset deviation (tKd, Equation 2).
+
+use fimi::{records_to_transactions, top_k_frequent, FrequentItemset, TopKConfig};
+use hierarchy::Taxonomy;
+use std::collections::HashSet;
+use transact::{Dataset, Record};
+
+/// Configuration of a tKd evaluation.
+#[derive(Debug, Clone)]
+pub struct TkdConfig {
+    /// Number of top itemsets compared (the paper uses 1000).
+    pub top_k: usize,
+    /// Maximum itemset size mined.
+    pub max_len: usize,
+}
+
+impl Default for TkdConfig {
+    fn default() -> Self {
+        TkdConfig {
+            top_k: 1000,
+            max_len: 4,
+        }
+    }
+}
+
+impl TkdConfig {
+    /// The paper's setting: top-1000 frequent itemsets.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    fn miner_config(&self) -> TopKConfig {
+        TopKConfig {
+            k: self.top_k,
+            max_len: self.max_len,
+            ..TopKConfig::default()
+        }
+    }
+}
+
+/// Equation 2 on two explicit top-K itemset lists:
+/// `tKd = 1 − |FI ∩ FI'| / |FI|`.
+pub fn tkd_itemsets(original: &[FrequentItemset], anonymized: &[FrequentItemset]) -> f64 {
+    if original.is_empty() {
+        return 0.0;
+    }
+    let anon: HashSet<&[u32]> = anonymized.iter().map(|f| f.items.as_slice()).collect();
+    let preserved = original
+        .iter()
+        .filter(|f| anon.contains(f.items.as_slice()))
+        .count();
+    1.0 - preserved as f64 / original.len() as f64
+}
+
+/// tKd between two datasets (the anonymized side is typically a
+/// reconstruction, a DiffPart output, or any other dataset of original
+/// terms).
+pub fn tkd_datasets(original: &Dataset, anonymized: &Dataset, config: &TkdConfig) -> f64 {
+    let fi_original = top_k_frequent(
+        &records_to_transactions(original.records()),
+        &config.miner_config(),
+    );
+    let fi_anonymized = top_k_frequent(
+        &records_to_transactions(anonymized.records()),
+        &config.miner_config(),
+    );
+    tkd_itemsets(&fi_original, &fi_anonymized)
+}
+
+/// tKd-a: the anonymized side is mined only from the published chunk
+/// subrecords (record chunks + shared chunks), i.e. the itemset occurrences
+/// that are certain to exist in every reconstruction.
+pub fn tkd_chunks(
+    original: &Dataset,
+    published: &disassociation::DisassociatedDataset,
+    config: &TkdConfig,
+) -> f64 {
+    let chunk_records: Vec<Record> = published.chunk_subrecords();
+    let fi_original = top_k_frequent(
+        &records_to_transactions(original.records()),
+        &config.miner_config(),
+    );
+    let fi_chunks = top_k_frequent(
+        &records_to_transactions(&chunk_records),
+        &config.miner_config(),
+    );
+    tkd_itemsets(&fi_original, &fi_chunks)
+}
+
+/// tKd-ML2: generalized frequent itemsets mined at multiple levels of
+/// `taxonomy` (multi-level mining à la Han & Fu).
+///
+/// For every taxonomy level `L` below the root, both datasets are projected
+/// onto the level-`L` ancestors of their items and the top-K frequent
+/// itemsets of the two projections are compared with Equation 2; the overall
+/// tKd-ML2 is the average of the per-level deviations.  Items of the
+/// anonymized side that are already generalized above level `L` keep their
+/// coarse node, so itemsets destroyed at that level count as lost.  The
+/// anonymized side is given as generalized transactions (node-id lists)
+/// because generalization-based methods do not publish original terms; pass
+/// leaf-level transactions (raw term ids) for methods that do.
+pub fn tkd_ml2(
+    original: &Dataset,
+    anonymized_generalized: &[Vec<u32>],
+    taxonomy: &Taxonomy,
+    config: &TkdConfig,
+) -> f64 {
+    let height = taxonomy.height();
+    if height == 0 {
+        return 0.0;
+    }
+    let project = |transactions: &[Vec<u32>], level: u32| -> Vec<Vec<u32>> {
+        transactions
+            .iter()
+            .map(|t| {
+                let mut out: Vec<u32> = t
+                    .iter()
+                    .map(|&n| taxonomy.ancestor_at_level(hierarchy::NodeId(n), level).0)
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect()
+    };
+    let original_leaf: Vec<Vec<u32>> = original
+        .records()
+        .iter()
+        .map(|r| r.iter().map(|t| t.raw()).collect())
+        .collect();
+    let mut total = 0.0;
+    let mut levels = 0usize;
+    for level in 0..height {
+        let fi_original =
+            top_k_frequent(&project(&original_leaf, level), &config.miner_config());
+        if fi_original.is_empty() {
+            continue;
+        }
+        let fi_anonymized =
+            top_k_frequent(&project(anonymized_generalized, level), &config.miner_config());
+        total += tkd_itemsets(&fi_original, &fi_anonymized);
+        levels += 1;
+    }
+    if levels == 0 {
+        0.0
+    } else {
+        total / levels as f64
+    }
+}
+
+/// Extends already-generalized transactions with all taxonomy ancestors —
+/// helper for preparing the anonymized side of [`tkd_ml2`].
+pub fn extend_generalized(transactions: &[Vec<u32>], taxonomy: &Taxonomy) -> Vec<Vec<u32>> {
+    transactions
+        .iter()
+        .map(|t| {
+            let mut out: Vec<u32> = Vec::with_capacity(t.len() * 2);
+            for &node in t {
+                out.push(node);
+                let mut cur = hierarchy::NodeId(node);
+                while let Some(p) = taxonomy.parent(cur) {
+                    out.push(p.0);
+                    cur = p;
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transact::TermId;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn fi(items: &[u32], support: u64) -> FrequentItemset {
+        FrequentItemset::new(items.to_vec(), support)
+    }
+
+    #[test]
+    fn identical_lists_have_zero_deviation() {
+        let a = vec![fi(&[1], 5), fi(&[1, 2], 3)];
+        assert_eq!(tkd_itemsets(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_lists_have_full_deviation() {
+        let a = vec![fi(&[1], 5), fi(&[2], 4)];
+        let b = vec![fi(&[3], 5), fi(&[4], 4)];
+        assert_eq!(tkd_itemsets(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = vec![fi(&[1], 5), fi(&[2], 4), fi(&[3], 3), fi(&[4], 2)];
+        let b = vec![fi(&[1], 5), fi(&[3], 3)];
+        assert!((tkd_itemsets(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_original_list_is_zero() {
+        assert_eq!(tkd_itemsets(&[], &[fi(&[1], 1)]), 0.0);
+    }
+
+    #[test]
+    fn identical_datasets_have_zero_tkd() {
+        let d = Dataset::from_records(vec![rec(&[1, 2]), rec(&[1, 2, 3]), rec(&[1])]);
+        let cfg = TkdConfig {
+            top_k: 10,
+            max_len: 3,
+        };
+        assert_eq!(tkd_datasets(&d, &d, &cfg), 0.0);
+    }
+
+    #[test]
+    fn dataset_missing_top_items_has_positive_tkd() {
+        let original = Dataset::from_records(vec![rec(&[1, 2]); 10]);
+        let anonymized = Dataset::from_records(vec![rec(&[7]); 10]);
+        let cfg = TkdConfig {
+            top_k: 5,
+            max_len: 2,
+        };
+        assert_eq!(tkd_datasets(&original, &anonymized, &cfg), 1.0);
+    }
+
+    #[test]
+    fn tkd_chunks_sees_only_published_subrecords() {
+        use disassociation::{Cluster, ClusterNode, DisassociatedDataset, RecordChunk, TermChunk};
+        let original = Dataset::from_records(vec![rec(&[1, 2]), rec(&[1, 2]), rec(&[1, 9])]);
+        // Publication keeps {1,2} together but pushes 9 to the term chunk.
+        let published = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![ClusterNode::Simple(Cluster {
+                size: 3,
+                record_chunks: vec![RecordChunk::new(
+                    vec![TermId::new(1), TermId::new(2)],
+                    vec![rec(&[1, 2]), rec(&[1, 2]), rec(&[1])],
+                )],
+                term_chunk: TermChunk::new(vec![TermId::new(9)]),
+            })],
+        };
+        let cfg = TkdConfig {
+            top_k: 3,
+            max_len: 2,
+        };
+        // Top-3 of the original: {1}(3), {1,2}(2), {2}(2)... all present in
+        // the chunks, so the deviation is 0.
+        let value = tkd_chunks(&original, &published, &cfg);
+        assert_eq!(value, 0.0);
+        // With a larger K the pair {1,9} of the original is lost.
+        let cfg5 = TkdConfig {
+            top_k: 5,
+            max_len: 2,
+        };
+        assert!(tkd_chunks(&original, &published, &cfg5) > 0.0);
+    }
+
+    #[test]
+    fn tkd_ml2_sees_generalized_overlap() {
+        // Original over leaves 0..4; anonymized replaces everything with the
+        // level-1 parents.  The leaf-level itemsets are lost, but the
+        // generalized ones coincide, so tKd-ML2 < 1.
+        let taxonomy = Taxonomy::balanced(4, 2);
+        let original = Dataset::from_records(vec![rec(&[0, 1]), rec(&[0, 1]), rec(&[2, 3])]);
+        let cut_to_parents: Vec<Vec<u32>> = original
+            .records()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|t| taxonomy.parent(hierarchy::NodeId::from_term(t)).unwrap().0)
+                    .collect::<Vec<u32>>()
+            })
+            .collect();
+        let cfg = TkdConfig {
+            top_k: 10,
+            max_len: 2,
+        };
+        let ml2 = tkd_ml2(&original, &cut_to_parents, &taxonomy, &cfg);
+        assert!(ml2 > 0.0, "leaf itemsets are lost: {ml2}");
+        assert!(ml2 < 1.0, "generalized itemsets are preserved: {ml2}");
+        // Publishing the original terms untouched gives zero deviation.
+        let leaf_level: Vec<Vec<u32>> = original
+            .records()
+            .iter()
+            .map(|r| r.iter().map(|t| t.raw()).collect())
+            .collect();
+        assert_eq!(tkd_ml2(&original, &leaf_level, &taxonomy, &cfg), 0.0);
+    }
+
+    #[test]
+    fn extend_generalized_adds_ancestors() {
+        let taxonomy = Taxonomy::balanced(4, 2);
+        let extended = extend_generalized(&[vec![0]], &taxonomy);
+        assert_eq!(extended[0].len(), 3); // leaf + parent + root
+    }
+}

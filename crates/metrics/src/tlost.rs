@@ -1,0 +1,87 @@
+//! The `tlost` metric: terms lost to term chunks.
+
+use disassociation::DisassociatedDataset;
+use transact::Dataset;
+
+/// Fraction of the terms that have support ≥ k in the original dataset but
+/// were nevertheless published **only** in term chunks (their supports and
+/// co-occurrences are hidden even though they were frequent enough to be
+/// publishable).
+///
+/// Terms with original support < k do not count: they can never satisfy the
+/// guarantee inside a record chunk, so "losing" them is unavoidable.
+pub fn tlost(original: &Dataset, published: &DisassociatedDataset) -> f64 {
+    let k = published.k as u64;
+    let supports = original.supports();
+    let eligible: Vec<_> = supports
+        .iter_nonzero()
+        .filter(|&(_, s)| s >= k)
+        .map(|(t, _)| t)
+        .collect();
+    if eligible.is_empty() {
+        return 0.0;
+    }
+    let only_term_chunks = published.terms_only_in_term_chunks();
+    let lost = eligible
+        .iter()
+        .filter(|t| only_term_chunks.contains(t))
+        .count();
+    lost as f64 / eligible.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disassociation::{disassociate, Cluster, ClusterNode, RecordChunk, TermChunk};
+    use transact::{Record, TermId};
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    #[test]
+    fn frequent_term_hidden_in_term_chunk_counts_as_lost() {
+        let original = Dataset::from_records(vec![rec(&[1, 2]); 5]);
+        // A (bad) publication that hides term 2 in the term chunk.
+        let published = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![ClusterNode::Simple(Cluster {
+                size: 5,
+                record_chunks: vec![RecordChunk::new(vec![tid(1)], vec![rec(&[1]); 5])],
+                term_chunk: TermChunk::new(vec![tid(2)]),
+            })],
+        };
+        assert!((tlost(&original, &published) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_terms_do_not_count_against_tlost() {
+        let original = Dataset::from_records(vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[1])]);
+        // Term 9 has support 1 < k = 3: placing it in the term chunk is not a loss.
+        let output = disassociate(&original, 3, 2);
+        assert_eq!(tlost(&original, &output.dataset), 0.0);
+    }
+
+    #[test]
+    fn lossless_publication_has_zero_tlost() {
+        let original = Dataset::from_records(vec![rec(&[1, 2]); 6]);
+        let output = disassociate(&original, 2, 2);
+        assert_eq!(tlost(&original, &output.dataset), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_tlost() {
+        let original = Dataset::new();
+        let published = DisassociatedDataset {
+            k: 2,
+            m: 2,
+            clusters: vec![],
+        };
+        assert_eq!(tlost(&original, &published), 0.0);
+    }
+}

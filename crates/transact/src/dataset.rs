@@ -1,0 +1,244 @@
+//! Datasets: collections of records with support queries.
+
+use crate::record::Record;
+use crate::support::SupportMap;
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A collection of records (the original dataset `D` of the paper, a cluster
+/// `P`, or a reconstructed dataset `D'`).
+///
+/// The dataset does not own a dictionary: synthetic workloads never need one
+/// and real ingestion keeps the dictionary alongside (see
+/// [`crate::io::read_named_transactions`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Dataset {
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of records.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        Dataset { records }
+    }
+
+    /// Number of records `|D|`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Mutable access to the records.
+    pub fn records_mut(&mut self) -> &mut Vec<Record> {
+        &mut self.records
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// The set of distinct terms appearing in the dataset (`T^P` for a
+    /// cluster, `T` for the whole dataset), sorted ascending.
+    pub fn domain(&self) -> Vec<TermId> {
+        let mut set = BTreeSet::new();
+        for r in &self.records {
+            set.extend(r.iter());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct terms.
+    pub fn domain_size(&self) -> usize {
+        self.domain().len()
+    }
+
+    /// Per-term support counts.
+    pub fn supports(&self) -> SupportMap {
+        SupportMap::from_records(&self.records)
+    }
+
+    /// Support of a single term.
+    pub fn term_support(&self, term: TermId) -> u64 {
+        self.records.iter().filter(|r| r.contains(term)).count() as u64
+    }
+
+    /// Support of an itemset (number of records containing all its terms).
+    pub fn itemset_support(&self, terms: &[TermId]) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.contains_all(terms))
+            .count() as u64
+    }
+
+    /// Splits the dataset into `(with, without)` on the presence of `term`.
+    ///
+    /// This is the single step HORPART applies recursively (Section 4).
+    pub fn partition_by_term(&self, term: TermId) -> (Dataset, Dataset) {
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for r in &self.records {
+            if r.contains(term) {
+                with.push(r.clone());
+            } else {
+                without.push(r.clone());
+            }
+        }
+        (Dataset::from_records(with), Dataset::from_records(without))
+    }
+
+    /// Projects every record onto a sorted domain, keeping empty projections
+    /// (bag semantics: one subrecord per original record).
+    pub fn project_sorted(&self, domain: &[TermId]) -> Vec<Record> {
+        self.records
+            .iter()
+            .map(|r| r.project_sorted(domain))
+            .collect()
+    }
+
+    /// Total number of term occurrences (sum of record lengths).
+    pub fn total_items(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Average record length.
+    pub fn avg_record_len(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_items() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Maximum record length.
+    pub fn max_record_len(&self) -> usize {
+        self.records.iter().map(Record::len).max().unwrap_or(0)
+    }
+
+    /// Removes records that are empty (used when sanitising raw input; the
+    /// anonymization pipeline requires non-empty original records).
+    pub fn retain_non_empty(&mut self) {
+        self.records.retain(|r| !r.is_empty());
+    }
+
+    /// Takes the first `n` records (useful for scaled-down experiment runs).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset::from_records(self.records.iter().take(n).cloned().collect())
+    }
+}
+
+impl FromIterator<Record> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Dataset::from_records(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn sample() -> Dataset {
+        Dataset::from_records(vec![rec(&[0, 1, 2]), rec(&[1, 2]), rec(&[2, 3]), rec(&[3])])
+    }
+
+    #[test]
+    fn len_domain_and_supports() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.domain(), vec![TermId::new(0), TermId::new(1), TermId::new(2), TermId::new(3)]);
+        assert_eq!(d.domain_size(), 4);
+        assert_eq!(d.term_support(TermId::new(2)), 3);
+        assert_eq!(d.term_support(TermId::new(9)), 0);
+    }
+
+    #[test]
+    fn itemset_support_counts_containing_records() {
+        let d = sample();
+        assert_eq!(d.itemset_support(&[TermId::new(1), TermId::new(2)]), 2);
+        assert_eq!(d.itemset_support(&[TermId::new(0), TermId::new(3)]), 0);
+        assert_eq!(d.itemset_support(&[]), 4, "empty itemset contained everywhere");
+    }
+
+    #[test]
+    fn partition_by_term_splits_cleanly() {
+        let d = sample();
+        let (with, without) = d.partition_by_term(TermId::new(1));
+        assert_eq!(with.len(), 2);
+        assert_eq!(without.len(), 2);
+        assert_eq!(with.len() + without.len(), d.len());
+        assert!(with.iter().all(|r| r.contains(TermId::new(1))));
+        assert!(without.iter().all(|r| !r.contains(TermId::new(1))));
+    }
+
+    #[test]
+    fn project_keeps_bag_semantics() {
+        let d = sample();
+        let dom = [TermId::new(1), TermId::new(2)];
+        let proj = d.project_sorted(&dom);
+        assert_eq!(proj.len(), d.len(), "one subrecord per record, empties included");
+        assert!(proj[3].is_empty());
+    }
+
+    #[test]
+    fn record_length_statistics() {
+        let d = sample();
+        assert_eq!(d.total_items(), 8);
+        assert!((d.avg_record_len() - 2.0).abs() < 1e-9);
+        assert_eq!(d.max_record_len(), 3);
+        assert_eq!(Dataset::new().avg_record_len(), 0.0);
+        assert_eq!(Dataset::new().max_record_len(), 0);
+    }
+
+    #[test]
+    fn retain_non_empty_drops_empty_records() {
+        let mut d = Dataset::from_records(vec![rec(&[]), rec(&[1]), rec(&[])]);
+        d.retain_non_empty();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let d = sample();
+        assert_eq!(d.truncated(2).len(), 2);
+        assert_eq!(d.truncated(100).len(), 4);
+        assert_eq!(d.truncated(2).records()[0], d.records()[0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d: Dataset = vec![rec(&[1]), rec(&[2])].into_iter().collect();
+        assert_eq!(d.len(), 2);
+    }
+}

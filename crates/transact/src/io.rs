@@ -1,0 +1,172 @@
+//! Reading and writing transactional datasets.
+//!
+//! Two formats are supported:
+//!
+//! * **numeric transactions** — the conventional FIMI `.dat` layout: one
+//!   record per line, space-separated non-negative integers (term ids).  This
+//!   is the format the POS / WV1 / WV2 datasets of the paper circulate in.
+//! * **named transactions** — one record per line, whitespace-separated term
+//!   strings; a [`crate::Dictionary`] is built while reading.
+
+use crate::dataset::Dataset;
+use crate::dictionary::Dictionary;
+use crate::record::Record;
+use crate::term::TermId;
+use crate::{Result, TransactError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a numeric transaction file (one record per line, integer ids).
+pub fn read_numeric_transactions<R: Read>(reader: R) -> Result<Dataset> {
+    let buf = BufReader::new(reader);
+    let mut records = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut ids = Vec::new();
+        for tok in trimmed.split_whitespace() {
+            let raw: u32 = tok.parse().map_err(|_| TransactError::Parse {
+                line: lineno + 1,
+                message: format!("expected an unsigned integer, got {tok:?}"),
+            })?;
+            ids.push(TermId::new(raw));
+        }
+        records.push(Record::from_ids(ids));
+    }
+    Ok(Dataset::from_records(records))
+}
+
+/// Reads a numeric transaction file from a path.
+pub fn read_numeric_transactions_path<P: AsRef<Path>>(path: P) -> Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_numeric_transactions(file)
+}
+
+/// Writes a dataset in the numeric transaction format.
+pub fn write_numeric_transactions<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<()> {
+    for record in dataset.iter() {
+        let mut first = true;
+        for t in record.iter() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{}", t.raw())?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset to a path in the numeric transaction format.
+pub fn write_numeric_transactions_path<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_numeric_transactions(dataset, &mut file)
+}
+
+/// Reads a named transaction file (whitespace-separated term strings),
+/// building a dictionary as a side effect.
+pub fn read_named_transactions<R: Read>(reader: R) -> Result<(Dataset, Dictionary)> {
+    let buf = BufReader::new(reader);
+    let mut dict = Dictionary::new();
+    let mut records = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let record = Record::from_terms(&mut dict, trimmed.split_whitespace());
+        records.push(record);
+    }
+    Ok((Dataset::from_records(records), dict))
+}
+
+/// Writes a dataset as named transactions using `dict` for rendering.
+///
+/// Unknown term ids are rendered as `t<id>` placeholders.
+pub fn write_named_transactions<W: Write>(
+    dataset: &Dataset,
+    dict: &Dictionary,
+    writer: &mut W,
+) -> Result<()> {
+    for record in dataset.iter() {
+        let names: Vec<String> = record.iter().map(|t| dict.term_or_placeholder(t)).collect();
+        writeln!(writer, "{}", names.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_roundtrip() {
+        let input = "1 2 3\n\n# comment\n2 3\n5\n";
+        let dataset = read_numeric_transactions(input.as_bytes()).unwrap();
+        assert_eq!(dataset.len(), 3);
+        assert_eq!(dataset.records()[0].len(), 3);
+        assert_eq!(dataset.records()[2].terms(), &[TermId::new(5)]);
+
+        let mut out = Vec::new();
+        write_numeric_transactions(&dataset, &mut out).unwrap();
+        let reread = read_numeric_transactions(out.as_slice()).unwrap();
+        assert_eq!(reread, dataset);
+    }
+
+    #[test]
+    fn numeric_parse_error_reports_line() {
+        let input = "1 2\n3 oops 4\n";
+        let err = read_numeric_transactions(input.as_bytes()).unwrap_err();
+        match err {
+            TransactError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("oops"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_transactions_build_dictionary() {
+        let input = "madonna flu viagra\nmadonna ikea\n";
+        let (dataset, dict) = read_named_transactions(input.as_bytes()).unwrap();
+        assert_eq!(dataset.len(), 2);
+        assert_eq!(dict.len(), 4);
+        let madonna = dict.id("madonna").unwrap();
+        assert_eq!(dataset.term_support(madonna), 2);
+    }
+
+    #[test]
+    fn named_write_uses_term_strings() {
+        let input = "a b\nc\n";
+        let (dataset, dict) = read_named_transactions(input.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_named_transactions(&dataset, &dict, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "a b\nc\n");
+    }
+
+    #[test]
+    fn duplicate_terms_on_a_line_are_deduplicated() {
+        let input = "7 7 8\n";
+        let dataset = read_numeric_transactions(input.as_bytes()).unwrap();
+        assert_eq!(dataset.records()[0].len(), 2);
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let dir = std::env::temp_dir().join("transact_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.dat");
+        let dataset = read_numeric_transactions("1 2\n3\n".as_bytes()).unwrap();
+        write_numeric_transactions_path(&dataset, &path).unwrap();
+        let reread = read_numeric_transactions_path(&path).unwrap();
+        assert_eq!(reread, dataset);
+        std::fs::remove_file(&path).ok();
+    }
+}

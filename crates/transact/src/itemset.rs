@@ -1,0 +1,281 @@
+//! Itemsets (small term combinations) and combination enumeration.
+//!
+//! The k^m-anonymity guarantee reasons about combinations of up to `m` terms
+//! (the adversary's background knowledge).  These combinations are small —
+//! the paper evaluates m = 2, 3 — so they are represented as inline sorted
+//! vectors and enumerated with a simple recursive generator.
+
+use crate::record::Record;
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+
+/// A small, sorted, deduplicated combination of terms.
+///
+/// Unlike [`Record`], an `Itemset` is used as a *key* (hash-map key for
+/// support counting), so it is kept intentionally minimal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Itemset(pub Vec<TermId>);
+
+impl Itemset {
+    /// Builds an itemset from ids (sorted + deduplicated).
+    pub fn new<I: IntoIterator<Item = TermId>>(ids: I) -> Self {
+        let mut v: Vec<TermId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset(v)
+    }
+
+    /// Builds a singleton itemset.
+    pub fn single(t: TermId) -> Self {
+        Itemset(vec![t])
+    }
+
+    /// Builds a pair itemset.
+    pub fn pair(a: TermId, b: TermId) -> Self {
+        debug_assert_ne!(a, b, "a pair needs two distinct terms");
+        if a < b {
+            Itemset(vec![a, b])
+        } else {
+            Itemset(vec![b, a])
+        }
+    }
+
+    /// Number of terms in the itemset.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the itemset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The sorted terms.
+    pub fn terms(&self) -> &[TermId] {
+        &self.0
+    }
+
+    /// Whether every term of the itemset appears in `record`.
+    pub fn is_contained_in(&self, record: &Record) -> bool {
+        self.0.iter().all(|&t| record.contains(t))
+    }
+
+    /// Returns a new itemset extended by `t` (which must be larger than all
+    /// current members — the invariant used by the Apriori candidate
+    /// generation).
+    pub fn extended_with(&self, t: TermId) -> Itemset {
+        debug_assert!(self.0.last().map_or(true, |&last| last < t));
+        let mut v = self.0.clone();
+        v.push(t);
+        Itemset(v)
+    }
+}
+
+impl std::fmt::Display for Itemset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|t| t.to_string()).collect();
+        write!(f, "[{}]", parts.join(","))
+    }
+}
+
+/// Enumerates every subset of `items` with size in `1..=max_size`, invoking
+/// `f` on each.  `items` must be sorted; subsets are produced in
+/// lexicographic order and are themselves sorted.
+///
+/// This is the workhorse of the chunk k^m-anonymity check: for a subrecord
+/// with `t` terms and `m = 2` it enumerates `t + t(t-1)/2` subsets.
+pub fn for_each_subset_up_to<F: FnMut(&[TermId])>(items: &[TermId], max_size: usize, mut f: F) {
+    if max_size == 0 || items.is_empty() {
+        return;
+    }
+    let mut stack: Vec<TermId> = Vec::with_capacity(max_size);
+    fn recurse<F: FnMut(&[TermId])>(
+        items: &[TermId],
+        start: usize,
+        max_size: usize,
+        stack: &mut Vec<TermId>,
+        f: &mut F,
+    ) {
+        for i in start..items.len() {
+            stack.push(items[i]);
+            f(stack);
+            if stack.len() < max_size {
+                recurse(items, i + 1, max_size, stack, f);
+            }
+            stack.pop();
+        }
+    }
+    recurse(items, 0, max_size, &mut stack, &mut f);
+}
+
+/// Enumerates every subset of `items` with size in `1..=max_size` that
+/// *contains* the distinguished term `must_contain` (which must be a member
+/// of `items`).  Used by the incremental anonymity check of VERPART: when a
+/// new term `t` is added to a chunk domain only the combinations involving
+/// `t` can newly violate anonymity.
+pub fn for_each_subset_containing<F: FnMut(&[TermId])>(
+    items: &[TermId],
+    must_contain: TermId,
+    max_size: usize,
+    mut f: F,
+) {
+    if max_size == 0 {
+        return;
+    }
+    let rest: Vec<TermId> = items.iter().copied().filter(|&t| t != must_contain).collect();
+    // The distinguished term alone.
+    let mut stack: Vec<TermId> = vec![must_contain];
+    f(&stack);
+    if max_size == 1 {
+        return;
+    }
+    fn recurse<F: FnMut(&[TermId])>(
+        rest: &[TermId],
+        start: usize,
+        max_size: usize,
+        stack: &mut Vec<TermId>,
+        f: &mut F,
+    ) {
+        for i in start..rest.len() {
+            stack.push(rest[i]);
+            let mut sorted = stack.clone();
+            sorted.sort_unstable();
+            f(&sorted);
+            if stack.len() < max_size {
+                recurse(rest, i + 1, max_size, stack, f);
+            }
+            stack.pop();
+        }
+    }
+    recurse(&rest, 0, max_size, &mut stack, &mut f);
+}
+
+/// Counts the number of subsets of size `1..=max_size` of a set with `n`
+/// elements (the cost of one exhaustive anonymity check).
+pub fn subset_count(n: usize, max_size: usize) -> u64 {
+    let mut total = 0u64;
+    for k in 1..=max_size.min(n) {
+        total += binomial(n as u64, k as u64);
+    }
+    total
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ids(v: &[u32]) -> Vec<TermId> {
+        v.iter().map(|&i| TermId::new(i)).collect()
+    }
+
+    #[test]
+    fn itemset_is_canonical() {
+        let a = Itemset::new(ids(&[3, 1, 1, 2]));
+        assert_eq!(a.terms(), &ids(&[1, 2, 3])[..]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn pair_orders_terms() {
+        assert_eq!(
+            Itemset::pair(TermId::new(5), TermId::new(2)),
+            Itemset::new(ids(&[2, 5]))
+        );
+    }
+
+    #[test]
+    fn containment_in_record() {
+        let rec = Record::from_ids(ids(&[1, 2, 3]));
+        assert!(Itemset::new(ids(&[1, 3])).is_contained_in(&rec));
+        assert!(!Itemset::new(ids(&[1, 4])).is_contained_in(&rec));
+        assert!(Itemset::default().is_contained_in(&rec));
+    }
+
+    #[test]
+    fn extended_with_appends() {
+        let a = Itemset::new(ids(&[1, 2]));
+        assert_eq!(a.extended_with(TermId::new(5)), Itemset::new(ids(&[1, 2, 5])));
+    }
+
+    #[test]
+    fn subsets_up_to_two_of_three_items() {
+        let items = ids(&[1, 2, 3]);
+        let mut seen = HashSet::new();
+        for_each_subset_up_to(&items, 2, |s| {
+            seen.insert(s.to_vec());
+        });
+        // 3 singletons + 3 pairs.
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&ids(&[1])));
+        assert!(seen.contains(&ids(&[2, 3])));
+        assert!(!seen.contains(&ids(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn subsets_up_to_full_size() {
+        let items = ids(&[1, 2, 3]);
+        let mut count = 0;
+        for_each_subset_up_to(&items, 3, |_| count += 1);
+        assert_eq!(count, 7); // 2^3 - 1
+    }
+
+    #[test]
+    fn subsets_containing_distinguished_term() {
+        let items = ids(&[1, 2, 3]);
+        let mut seen = HashSet::new();
+        for_each_subset_containing(&items, TermId::new(2), 2, |s| {
+            seen.insert(s.to_vec());
+        });
+        // {2}, {1,2}, {2,3}
+        assert_eq!(seen.len(), 3);
+        assert!(seen.contains(&ids(&[2])));
+        assert!(seen.contains(&ids(&[1, 2])));
+        assert!(seen.contains(&ids(&[2, 3])));
+    }
+
+    #[test]
+    fn subsets_containing_produces_sorted_subsets() {
+        let items = ids(&[1, 5, 9]);
+        for_each_subset_containing(&items, TermId::new(9), 3, |s| {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "subset {s:?} not sorted");
+        });
+    }
+
+    #[test]
+    fn subset_count_matches_enumeration() {
+        let items = ids(&[1, 2, 3, 4, 5]);
+        for m in 1..=5 {
+            let mut count = 0u64;
+            for_each_subset_up_to(&items, m, |_| count += 1);
+            assert_eq!(count, subset_count(5, m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn binomial_basic_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    fn empty_inputs_produce_nothing() {
+        let mut count = 0;
+        for_each_subset_up_to(&[], 2, |_| count += 1);
+        for_each_subset_up_to(&ids(&[1]), 0, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Dataset statistics (the quantities of Figure 6 of the paper).
+
+use crate::dataset::Dataset;
+use crate::support::SupportMap;
+use crate::term::TermId;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a dataset: the columns of Figure 6 (`|D|`, `|T|`,
+/// max record size, avg record size) plus a few quantities useful when
+/// calibrating synthetic workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of records `|D|`.
+    pub num_records: usize,
+    /// Number of distinct terms `|T|`.
+    pub domain_size: usize,
+    /// Maximum record length.
+    pub max_record_len: usize,
+    /// Average record length.
+    pub avg_record_len: f64,
+    /// Total number of term occurrences.
+    pub total_items: u64,
+    /// Support of the most frequent term.
+    pub max_term_support: u64,
+    /// Median term support.
+    pub median_term_support: u64,
+    /// Fraction of terms with support below 5 (the long tail that ends up in
+    /// term chunks for the paper's default k = 5).
+    pub fraction_rare_terms: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let supports = dataset.supports();
+        Self::from_supports(dataset, &supports)
+    }
+
+    /// Computes the statistics given precomputed supports (avoids a second
+    /// pass when the caller already has them).
+    pub fn from_supports(dataset: &Dataset, supports: &SupportMap) -> Self {
+        let mut sups: Vec<u64> = supports.iter_nonzero().map(|(_, s)| s).collect();
+        sups.sort_unstable();
+        let domain_size = sups.len();
+        let max_term_support = sups.last().copied().unwrap_or(0);
+        let median_term_support = if sups.is_empty() { 0 } else { sups[sups.len() / 2] };
+        let rare = sups.iter().filter(|&&s| s < 5).count();
+        DatasetStats {
+            num_records: dataset.len(),
+            domain_size,
+            max_record_len: dataset.max_record_len(),
+            avg_record_len: dataset.avg_record_len(),
+            total_items: dataset.total_items(),
+            max_term_support,
+            median_term_support,
+            fraction_rare_terms: if domain_size == 0 {
+                0.0
+            } else {
+                rare as f64 / domain_size as f64
+            },
+        }
+    }
+
+    /// Renders a one-line summary in the format of Figure 6.
+    pub fn figure6_row(&self, name: &str) -> String {
+        format!(
+            "{name:8} |D|={:>9} |T|={:>6} max_rec={:>4} avg_rec={:>5.1}",
+            self.num_records, self.domain_size, self.max_record_len, self.avg_record_len
+        )
+    }
+}
+
+/// Returns the ids of the terms ranked `range` (0-based, inclusive-exclusive)
+/// when the domain is sorted by **descending** support.
+///
+/// The paper's relative-error metric is computed over the pairs formed by a
+/// small frequency window (e.g. the 200th–220th most frequent terms).
+pub fn terms_in_frequency_range(supports: &SupportMap, range: std::ops::Range<usize>) -> Vec<TermId> {
+    let ordered = supports.terms_by_descending_support();
+    ordered
+        .into_iter()
+        .skip(range.start)
+        .take(range.end.saturating_sub(range.start))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn sample() -> Dataset {
+        Dataset::from_records(vec![
+            rec(&[0, 1, 2, 3]),
+            rec(&[0, 1]),
+            rec(&[0, 2]),
+            rec(&[0]),
+        ])
+    }
+
+    #[test]
+    fn figure6_quantities() {
+        let stats = DatasetStats::compute(&sample());
+        assert_eq!(stats.num_records, 4);
+        assert_eq!(stats.domain_size, 4);
+        assert_eq!(stats.max_record_len, 4);
+        assert!((stats.avg_record_len - 2.25).abs() < 1e-9);
+        assert_eq!(stats.total_items, 9);
+        assert_eq!(stats.max_term_support, 4);
+    }
+
+    #[test]
+    fn rare_term_fraction() {
+        let stats = DatasetStats::compute(&sample());
+        // All terms have support < 5 here.
+        assert!((stats.fraction_rare_terms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let stats = DatasetStats::compute(&Dataset::new());
+        assert_eq!(stats.num_records, 0);
+        assert_eq!(stats.domain_size, 0);
+        assert_eq!(stats.max_term_support, 0);
+        assert_eq!(stats.median_term_support, 0);
+        assert_eq!(stats.fraction_rare_terms, 0.0);
+    }
+
+    #[test]
+    fn figure6_row_contains_the_numbers() {
+        let stats = DatasetStats::compute(&sample());
+        let row = stats.figure6_row("POS");
+        assert!(row.contains("POS"));
+        assert!(row.contains("|D|="));
+        assert!(row.contains('4'));
+    }
+
+    #[test]
+    fn frequency_range_selects_window_of_ordered_terms() {
+        let d = sample();
+        let supports = d.supports();
+        // Descending support order: 0 (4), 1 (2), 2 (2), 3 (1).
+        let window = terms_in_frequency_range(&supports, 1..3);
+        assert_eq!(window, vec![TermId::new(1), TermId::new(2)]);
+        let beyond = terms_in_frequency_range(&supports, 10..20);
+        assert!(beyond.is_empty());
+    }
+}

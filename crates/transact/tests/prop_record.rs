@@ -1,0 +1,119 @@
+//! Property-based tests for the record/set algebra and support counting.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use transact::{Dataset, Record, SupportMap, TermId};
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    proptest::collection::vec(0u32..50, 0..12)
+        .prop_map(|v| Record::from_ids(v.into_iter().map(TermId::new)))
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(arb_record(), 0..40).prop_map(Dataset::from_records)
+}
+
+fn as_set(r: &Record) -> BTreeSet<TermId> {
+    r.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn record_terms_are_sorted_and_unique(r in arb_record()) {
+        let terms = r.terms();
+        prop_assert!(terms.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn union_matches_set_union(a in arb_record(), b in arb_record()) {
+        let expected: BTreeSet<_> = as_set(&a).union(&as_set(&b)).copied().collect();
+        prop_assert_eq!(as_set(&a.union(&b)), expected);
+    }
+
+    #[test]
+    fn intersection_matches_set_intersection(a in arb_record(), b in arb_record()) {
+        let expected: BTreeSet<_> = as_set(&a).intersection(&as_set(&b)).copied().collect();
+        prop_assert_eq!(as_set(&a.intersect(&b)), expected);
+    }
+
+    #[test]
+    fn difference_matches_set_difference(a in arb_record(), b in arb_record()) {
+        let expected: BTreeSet<_> = as_set(&a).difference(&as_set(&b)).copied().collect();
+        prop_assert_eq!(as_set(&a.difference(&b)), expected);
+    }
+
+    #[test]
+    fn projection_is_subset_of_both(r in arb_record(), dom in proptest::collection::btree_set(0u32..50, 0..20)) {
+        let domain: Vec<TermId> = dom.iter().copied().map(TermId::new).collect();
+        let p = r.project_sorted(&domain);
+        for t in p.iter() {
+            prop_assert!(r.contains(t));
+            prop_assert!(domain.contains(&t));
+        }
+        // Every record term inside the domain must survive the projection.
+        for t in r.iter() {
+            if domain.contains(&t) {
+                prop_assert!(p.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn support_map_agrees_with_naive_count(d in arb_dataset()) {
+        let supports = d.supports();
+        for t in d.domain() {
+            prop_assert_eq!(supports.support(t), d.term_support(t));
+        }
+    }
+
+    #[test]
+    fn descending_support_order_is_monotone(d in arb_dataset()) {
+        let supports = d.supports();
+        let ordered = supports.terms_by_descending_support();
+        for w in ordered.windows(2) {
+            prop_assert!(supports.support(w[0]) >= supports.support(w[1]));
+        }
+    }
+
+    #[test]
+    fn partition_by_term_is_a_partition(d in arb_dataset(), raw in 0u32..50) {
+        let t = TermId::new(raw);
+        let (with, without) = d.partition_by_term(t);
+        prop_assert_eq!(with.len() + without.len(), d.len());
+        prop_assert!(with.iter().all(|r| r.contains(t)));
+        prop_assert!(without.iter().all(|r| !r.contains(t)));
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_dataset(d in arb_dataset()) {
+        let mut buf = Vec::new();
+        transact::io::write_numeric_transactions(&d, &mut buf).unwrap();
+        let reread = transact::io::read_numeric_transactions(buf.as_slice()).unwrap();
+        // Empty records are not representable in the line format (an empty
+        // line is skipped), so compare after dropping them.
+        let mut cleaned = d.clone();
+        cleaned.retain_non_empty();
+        prop_assert_eq!(reread, cleaned);
+    }
+
+    #[test]
+    fn subset_enumeration_counts_match_formula(items in proptest::collection::btree_set(0u32..30, 0..8), m in 1usize..4) {
+        let items: Vec<TermId> = items.into_iter().map(TermId::new).collect();
+        let mut count = 0u64;
+        transact::itemset::for_each_subset_up_to(&items, m, |_| count += 1);
+        prop_assert_eq!(count, transact::itemset::subset_count(items.len(), m));
+    }
+
+    #[test]
+    fn most_frequent_among_is_maximal(d in arb_dataset()) {
+        let supports: SupportMap = d.supports();
+        let domain = d.domain();
+        if let Some(best) = supports.most_frequent_among(domain.iter().copied()) {
+            for t in &domain {
+                prop_assert!(supports.support(best) >= supports.support(*t));
+            }
+        } else {
+            prop_assert!(domain.is_empty());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Comparing disassociation against the two baselines of the paper's
+//! evaluation (Figure 11): Apriori generalization and DiffPart.
+//!
+//! The three methods publish very different artifacts:
+//!
+//! * **disassociation** keeps every original term, hides co-occurrences;
+//! * **Apriori** replaces terms by coarser taxonomy categories;
+//! * **DiffPart** publishes noisy counts of exact itemsets and suppresses
+//!   everything infrequent.
+//!
+//! The common yardsticks are the paper's metrics: tKd (and tKd-ML2 for the
+//! generalized output) and the relative error of pair supports.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p disassoc-cli --example baseline_comparison
+//! ```
+
+use baselines::{AprioriAnonymizer, AprioriConfig, DiffPart, DiffPartConfig};
+use datagen::RealDataset;
+use disassociation::{reconstruct, DisassociationConfig, Disassociator};
+use hierarchy::Taxonomy;
+use metrics::{pair_window, relative_error_datasets, tkd_datasets, tkd_ml2, TkdConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (k, m) = (5usize, 2usize);
+    // WV1 at 1/20 scale keeps the example under a few seconds.
+    let dataset = RealDataset::Wv1.generate_scaled(20);
+    println!(
+        "dataset: {} records, {} terms (WV1 profile, scaled)",
+        dataset.len(),
+        dataset.domain_size()
+    );
+    let taxonomy = Taxonomy::balanced(dataset.domain().last().map(|t| t.index() + 1).unwrap_or(1), 4);
+    let tkd_cfg = TkdConfig { top_k: 200, max_len: 3 };
+    let window = pair_window(&dataset, 20..40);
+
+    // --- Disassociation -----------------------------------------------------
+    let output = Disassociator::new(DisassociationConfig { k, m, ..Default::default() })
+        .anonymize(&dataset);
+    let mut rng = StdRng::seed_from_u64(3);
+    let reconstruction = reconstruct(&output.dataset, &mut rng);
+    let dis_tkd = tkd_datasets(&dataset, &reconstruction, &tkd_cfg);
+    let dis_re = relative_error_datasets(&dataset, &reconstruction, &window);
+    // The reconstruction contains original terms, so tKd-ML2 compares it at
+    // every taxonomy level directly.
+    let recon_leaf: Vec<Vec<u32>> = reconstruction
+        .records()
+        .iter()
+        .map(|r| r.iter().map(|t| t.raw()).collect())
+        .collect();
+    let dis_ml2 = tkd_ml2(&dataset, &recon_leaf, &taxonomy, &tkd_cfg);
+
+    // --- Apriori generalization --------------------------------------------
+    let apriori = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k, m, ..Default::default() })
+        .anonymize(&dataset);
+    let apriori_ml2 = tkd_ml2(&dataset, &apriori.generalized_records, &taxonomy, &tkd_cfg);
+
+    // --- DiffPart ------------------------------------------------------------
+    let diffpart = DiffPart::new(&taxonomy, DiffPartConfig::paper_best()).sanitize(&dataset);
+    let dp_tkd = tkd_datasets(&dataset, &diffpart.dataset, &tkd_cfg);
+    let dp_re = relative_error_datasets(&dataset, &diffpart.dataset, &window);
+
+    println!("\n                         tKd     tKd-ML2   re");
+    println!("disassociation (k^m)    {dis_tkd:>6.3}   {dis_ml2:>6.3}   {dis_re:>6.3}");
+    println!("Apriori generalization     —     {apriori_ml2:>6.3}      —   (no original terms published)");
+    println!("DiffPart (ε = 1.25)     {dp_tkd:>6.3}      —     {dp_re:>6.3}");
+    println!(
+        "\nDiffPart kept {}/{} original terms; Apriori generalized the domain to level {:.2} on average.",
+        diffpart.surviving_terms,
+        dataset.domain_size(),
+        apriori.average_level
+    );
+    println!(
+        "Expected shape (Figure 11): disassociation preserves the top itemsets and pair supports\n\
+         far better than either baseline, because it never removes or coarsens a term."
+    );
+}

@@ -1,0 +1,210 @@
+//! Integration test built around the paper's running example (Figures 2/3):
+//! the published form must reproduce the qualitative structure of the paper's
+//! worked example and satisfy every property claimed for it.
+
+use disassociation::verify::{verify_attack, verify_structure};
+use disassociation::{
+    reconstruct, ClusterNode, DisassociationConfig, Disassociator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transact::{Dataset, Dictionary, Record, TermId};
+
+/// Builds the Figure 2a dataset along with its dictionary.
+fn figure2_dataset() -> (Dataset, Dictionary) {
+    let mut dict = Dictionary::new();
+    let records = vec![
+        Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "ikea", "ruby"]),
+        Record::from_terms(&mut dict, ["madonna", "flu", "viagra", "ruby", "audi", "sony"]),
+        Record::from_terms(&mut dict, ["itunes", "madonna", "audi", "ikea", "sony"]),
+        Record::from_terms(&mut dict, ["itunes", "flu", "viagra"]),
+        Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "audi", "sony"]),
+        Record::from_terms(&mut dict, ["madonna", "camera", "panic", "playboy"]),
+        Record::from_terms(&mut dict, ["iphone", "madonna", "ikea", "ruby"]),
+        Record::from_terms(&mut dict, ["iphone", "camera", "madonna", "playboy"]),
+        Record::from_terms(&mut dict, ["iphone", "camera", "panic"]),
+        Record::from_terms(&mut dict, ["iphone", "camera", "madonna", "ikea", "ruby"]),
+    ];
+    (Dataset::from_records(records), dict)
+}
+
+fn paper_output() -> (Dataset, Dictionary, disassociation::DisassociationOutput) {
+    let (dataset, dict) = figure2_dataset();
+    let output = Disassociator::new(DisassociationConfig {
+        k: 3,
+        m: 2,
+        max_cluster_size: 6,
+        seed: 42,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
+    (dataset, dict, output)
+}
+
+#[test]
+fn the_running_example_is_3_2_anonymous() {
+    let (dataset, _dict, output) = paper_output();
+    assert!(verify_structure(&output.dataset).is_ok());
+    assert!(verify_attack(&dataset, &output.dataset, &output.cluster_assignment).is_ok());
+}
+
+#[test]
+fn madonna_viagra_no_longer_identifies_a_single_record() {
+    let (dataset, dict, output) = paper_output();
+    let madonna = dict.id("madonna").unwrap();
+    let viagra = dict.id("viagra").unwrap();
+    // In the original data the pair is unique — the identity attack of the
+    // introduction.
+    assert_eq!(dataset.itemset_support(&[madonna, viagra]), 1);
+    // In the published form, no record chunk may expose that pair with
+    // support below k.
+    for cluster in output.dataset.simple_clusters() {
+        for chunk in &cluster.record_chunks {
+            let support = chunk.support(&[madonna, viagra]);
+            assert!(
+                support == 0 || support >= 3,
+                "published chunk leaks the identifying pair with support {support}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_original_query_term_is_published_somewhere() {
+    let (dataset, _dict, output) = paper_output();
+    let published = output.dataset.all_terms();
+    for t in dataset.domain() {
+        assert!(published.contains(&t), "term {t} missing from the publication");
+    }
+    assert_eq!(published.len(), dataset.domain_size());
+}
+
+#[test]
+fn frequent_terms_are_published_in_record_chunks_not_lost() {
+    let (dataset, dict, output) = paper_output();
+    // itunes, flu, madonna, iphone, camera all have support ≥ 3 overall and
+    // within their natural cluster — they must not be hidden in term chunks.
+    let only_term_chunks = output.dataset.terms_only_in_term_chunks();
+    for name in ["itunes", "flu", "madonna", "iphone", "camera"] {
+        let t = dict.id(name).unwrap();
+        assert!(
+            !only_term_chunks.contains(&t),
+            "{name} (support {}) ended up only in term chunks",
+            dataset.term_support(t)
+        );
+    }
+}
+
+#[test]
+fn refining_improves_published_support_bounds() {
+    // The exact Figure 3 outcome (a shared chunk over ikea/ruby) is pinned by
+    // the unit tests of `disassociation::refine`, which feed the paper's
+    // hand-picked clusters P1/P2 directly.  End to end, HORPART may cluster
+    // the ten records differently, so here we assert the *purpose* of the
+    // refining step instead: it never loses information, and the sum of the
+    // published per-term support lower bounds does not decrease when it runs.
+    let (dataset, dict) = figure2_dataset();
+    let with_refine = Disassociator::new(DisassociationConfig {
+        k: 3,
+        m: 2,
+        max_cluster_size: 6,
+        seed: 42,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
+    let without_refine = Disassociator::new(DisassociationConfig {
+        k: 3,
+        m: 2,
+        max_cluster_size: 6,
+        seed: 42,
+        enable_refine: false,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
+    let bound_sum = |output: &disassociation::DisassociationOutput| -> u64 {
+        dataset
+            .domain()
+            .iter()
+            .map(|&t| output.dataset.term_support_lower_bound(t))
+            .sum()
+    };
+    assert!(
+        bound_sum(&with_refine) >= bound_sum(&without_refine),
+        "refining must not reduce the derivable support information"
+    );
+    // Both publications remain verifiable and lose no term.
+    for output in [&with_refine, &without_refine] {
+        assert!(verify_structure(&output.dataset).is_ok());
+        assert_eq!(output.dataset.all_terms().len(), dict.len());
+    }
+}
+
+#[test]
+fn support_lower_bounds_never_exceed_true_supports() {
+    let (dataset, _dict, output) = paper_output();
+    for t in dataset.domain() {
+        let bound = output.dataset.term_support_lower_bound(t);
+        assert!(bound >= 1, "term {t} lost");
+        assert!(
+            bound <= dataset.term_support(t),
+            "bound {bound} exceeds the true support of {t}"
+        );
+    }
+}
+
+#[test]
+fn reconstructions_have_the_original_size_and_preserve_chunk_supports() {
+    let (dataset, dict, output) = paper_output();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let sample = reconstruct(&output.dataset, &mut rng);
+        assert_eq!(sample.len(), dataset.len());
+        // Terms published in record chunks keep their exact supports in any
+        // reconstruction of a simple cluster; check a few.
+        for name in ["itunes", "flu", "madonna"] {
+            let t = dict.id(name).unwrap();
+            assert!(
+                sample.term_support(t) >= output.dataset.term_support_lower_bound(t),
+                "{name} lost occurrences in a reconstruction"
+            );
+        }
+    }
+}
+
+#[test]
+fn published_cluster_sizes_are_explicit_and_sum_to_the_dataset_size() {
+    let (dataset, _dict, output) = paper_output();
+    let total: usize = output
+        .dataset
+        .clusters
+        .iter()
+        .map(ClusterNode::size)
+        .sum();
+    assert_eq!(total, dataset.len());
+    for cluster in output.dataset.simple_clusters() {
+        assert!(cluster.size >= 3, "clusters must have at least k records");
+    }
+}
+
+#[test]
+fn example1_pathology_is_never_published() {
+    // The Figure 4 dataset: two record chunks would satisfy chunk-level
+    // anonymity but violate Lemma 2; the pipeline must repair it.
+    let records = vec![
+        Record::from_ids([TermId::new(1)]),
+        Record::from_ids([TermId::new(1)]),
+        Record::from_ids([TermId::new(2), TermId::new(3)]),
+        Record::from_ids([TermId::new(2), TermId::new(3)]),
+        Record::from_ids([TermId::new(1), TermId::new(2), TermId::new(3)]),
+    ];
+    let dataset = Dataset::from_records(records);
+    let output = Disassociator::new(DisassociationConfig {
+        k: 3,
+        m: 2,
+        max_cluster_size: 6,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
+    assert!(verify_structure(&output.dataset).is_ok());
+    assert!(verify_attack(&dataset, &output.dataset, &output.cluster_assignment).is_ok());
+}
