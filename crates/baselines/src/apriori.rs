@@ -235,7 +235,13 @@ pub fn uniform_leaf_supports(
 
 /// Enumerates all `size`-element combinations of a sorted slice.
 fn combinations(items: &[u32], size: usize, f: &mut impl FnMut(&[u32])) {
-    fn rec(items: &[u32], start: usize, size: usize, cur: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    fn rec(
+        items: &[u32],
+        start: usize,
+        size: usize,
+        cur: &mut Vec<u32>,
+        f: &mut impl FnMut(&[u32]),
+    ) {
         if cur.len() == size {
             f(cur);
             return;
@@ -269,11 +275,22 @@ mod tests {
     fn already_anonymous_data_is_left_untouched() {
         let taxonomy = Taxonomy::balanced(4, 2);
         let dataset = Dataset::from_records(vec![rec(&[0, 1]); 6]);
-        let result = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: 3, m: 2, ..Default::default() })
-            .anonymize(&dataset);
+        let result = AprioriAnonymizer::new(
+            &taxonomy,
+            AprioriConfig {
+                k: 3,
+                m: 2,
+                ..Default::default()
+            },
+        )
+        .anonymize(&dataset);
         assert!(result.is_identity());
         assert_eq!(result.average_level, 0.0);
-        assert!(is_generalized_km_anonymous(&result.generalized_records, 3, 2));
+        assert!(is_generalized_km_anonymous(
+            &result.generalized_records,
+            3,
+            2
+        ));
     }
 
     #[test]
@@ -281,16 +298,23 @@ mod tests {
         let taxonomy = Taxonomy::balanced(8, 2);
         // Terms 0 and 1 are siblings; each alone is rare (support 2 < 3) but
         // their parent has support 4.
-        let dataset = Dataset::from_records(vec![
-            rec(&[0, 4]),
-            rec(&[0, 4]),
-            rec(&[1, 4]),
-            rec(&[1, 4]),
-        ]);
-        let result = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: 3, m: 1, ..Default::default() })
-            .anonymize(&dataset);
+        let dataset =
+            Dataset::from_records(vec![rec(&[0, 4]), rec(&[0, 4]), rec(&[1, 4]), rec(&[1, 4])]);
+        let result = AprioriAnonymizer::new(
+            &taxonomy,
+            AprioriConfig {
+                k: 3,
+                m: 1,
+                ..Default::default()
+            },
+        )
+        .anonymize(&dataset);
         assert!(!result.is_identity());
-        assert!(is_generalized_km_anonymous(&result.generalized_records, 3, 1));
+        assert!(is_generalized_km_anonymous(
+            &result.generalized_records,
+            3,
+            1
+        ));
         // Term 4 alone was frequent; it may stay a leaf (local damage only).
         let mapped_4 = result
             .mapping
@@ -312,9 +336,17 @@ mod tests {
             records.push(rec(&[5, 7]));
         }
         let dataset = Dataset::from_records(records);
-        let cfg = AprioriConfig { k: 3, m: 2, ..Default::default() };
+        let cfg = AprioriConfig {
+            k: 3,
+            m: 2,
+            ..Default::default()
+        };
         let result = AprioriAnonymizer::new(&taxonomy, cfg).anonymize(&dataset);
-        assert!(is_generalized_km_anonymous(&result.generalized_records, 3, 2));
+        assert!(is_generalized_km_anonymous(
+            &result.generalized_records,
+            3,
+            2
+        ));
         assert!(result.steps > 0);
     }
 
@@ -334,7 +366,11 @@ mod tests {
                 .collect();
             let dataset = Dataset::from_records(records);
             let k = rng.gen_range(2..4).min(n);
-            let cfg = AprioriConfig { k, m: 2, ..Default::default() };
+            let cfg = AprioriConfig {
+                k,
+                m: 2,
+                ..Default::default()
+            };
             let result = AprioriAnonymizer::new(&taxonomy, cfg).anonymize(&dataset);
             assert!(
                 is_generalized_km_anonymous(&result.generalized_records, k, 2),
@@ -347,8 +383,15 @@ mod tests {
     fn one_record_per_original_record_is_published() {
         let taxonomy = Taxonomy::balanced(8, 2);
         let dataset = Dataset::from_records(vec![rec(&[0]), rec(&[1]), rec(&[2])]);
-        let result = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: 2, m: 1, ..Default::default() })
-            .anonymize(&dataset);
+        let result = AprioriAnonymizer::new(
+            &taxonomy,
+            AprioriConfig {
+                k: 2,
+                m: 1,
+                ..Default::default()
+            },
+        )
+        .anonymize(&dataset);
         assert_eq!(result.generalized_records.len(), 3);
     }
 
@@ -357,8 +400,15 @@ mod tests {
         let taxonomy = Taxonomy::balanced(4, 2);
         let dataset = Dataset::from_records(vec![rec(&[0]), rec(&[1]), rec(&[0]), rec(&[1])]);
         // Force everything to the level-1 parent of 0 and 1 by requiring k=3.
-        let result = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: 3, m: 1, ..Default::default() })
-            .anonymize(&dataset);
+        let result = AprioriAnonymizer::new(
+            &taxonomy,
+            AprioriConfig {
+                k: 3,
+                m: 1,
+                ..Default::default()
+            },
+        )
+        .anonymize(&dataset);
         let supports = uniform_leaf_supports(&result, &taxonomy, dataset.len());
         // The parent of {0, 1} has support 4 and 2 leaves → 2.0 each.
         let s0 = supports[&TermId::new(0)];
@@ -379,6 +429,9 @@ mod tests {
     fn is_generalized_km_anonymous_detects_violations() {
         let records = vec![vec![1, 2], vec![1, 2], vec![1], vec![2]];
         assert!(is_generalized_km_anonymous(&records, 3, 1));
-        assert!(!is_generalized_km_anonymous(&records, 3, 2), "pair {{1,2}} appears twice");
+        assert!(
+            !is_generalized_km_anonymous(&records, 3, 2),
+            "pair {{1,2}} appears twice"
+        );
     }
 }

@@ -102,7 +102,8 @@ impl<'a> DiffPart<'a> {
     pub fn new(taxonomy: &'a Taxonomy, config: DiffPartConfig) -> Self {
         assert!(config.epsilon > 0.0, "epsilon must be positive");
         assert!(
-            (0.0..1.0).contains(&config.count_budget_fraction) && config.count_budget_fraction > 0.0,
+            (0.0..1.0).contains(&config.count_budget_fraction)
+                && config.count_budget_fraction > 0.0,
             "count budget fraction must be in (0, 1)"
         );
         DiffPart { taxonomy, config }
@@ -143,18 +144,12 @@ impl<'a> DiffPart<'a> {
             match expandable {
                 None => {
                     // Leaf partition: publish the itemset with a noisy count.
-                    let noisy = mech.noisy_count(
-                        partition.records.len() as u64,
-                        count_epsilon,
-                        &mut rng,
-                    );
+                    let noisy =
+                        mech.noisy_count(partition.records.len() as u64, count_epsilon, &mut rng);
                     let rounded = noisy.round();
                     if rounded >= 1.0 {
-                        let items: Vec<TermId> = partition
-                            .cut
-                            .iter()
-                            .map(|n| TermId::new(n.0))
-                            .collect();
+                        let items: Vec<TermId> =
+                            partition.cut.iter().map(|n| TermId::new(n.0)).collect();
                         published.push((items, rounded as u64));
                     } else {
                         suppressed += 1;
@@ -181,8 +176,7 @@ impl<'a> DiffPart<'a> {
                     // Deterministic iteration order for reproducibility.
                     let mut ordered: Vec<(Vec<NodeId>, Vec<usize>)> = groups.into_iter().collect();
                     ordered.sort_by(|a, b| a.0.cmp(&b.0));
-                    let threshold =
-                        self.config.threshold_factor * (2.0_f64.sqrt() / step_epsilon);
+                    let threshold = self.config.threshold_factor * (2.0_f64.sqrt() / step_epsilon);
                     for (present, records) in ordered {
                         let noisy = mech.noisy_count(records.len() as u64, step_epsilon, &mut rng);
                         if noisy < threshold {
@@ -292,8 +286,14 @@ mod tests {
         let a = DiffPart::new(&taxonomy, DiffPartConfig::default()).sanitize(&dataset);
         let b = DiffPart::new(&taxonomy, DiffPartConfig::default()).sanitize(&dataset);
         assert_eq!(a.dataset, b.dataset);
-        let c = DiffPart::new(&taxonomy, DiffPartConfig { seed: 1, ..Default::default() })
-            .sanitize(&dataset);
+        let c = DiffPart::new(
+            &taxonomy,
+            DiffPartConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .sanitize(&dataset);
         // Different noise, (almost surely) different output.
         assert_ne!(a.dataset, c.dataset);
     }
@@ -302,10 +302,22 @@ mod tests {
     fn larger_epsilon_preserves_more() {
         let taxonomy = Taxonomy::balanced(16, 4);
         let dataset = skewed_dataset(400);
-        let tight = DiffPart::new(&taxonomy, DiffPartConfig { epsilon: 0.25, ..Default::default() })
-            .sanitize(&dataset);
-        let loose = DiffPart::new(&taxonomy, DiffPartConfig { epsilon: 2.0, ..Default::default() })
-            .sanitize(&dataset);
+        let tight = DiffPart::new(
+            &taxonomy,
+            DiffPartConfig {
+                epsilon: 0.25,
+                ..Default::default()
+            },
+        )
+        .sanitize(&dataset);
+        let loose = DiffPart::new(
+            &taxonomy,
+            DiffPartConfig {
+                epsilon: 2.0,
+                ..Default::default()
+            },
+        )
+        .sanitize(&dataset);
         assert!(
             loose.published_itemsets >= tight.published_itemsets,
             "more budget should publish at least as many itemsets ({} vs {})",
@@ -326,7 +338,13 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn non_positive_epsilon_is_rejected() {
         let taxonomy = Taxonomy::balanced(8, 2);
-        let _ = DiffPart::new(&taxonomy, DiffPartConfig { epsilon: 0.0, ..Default::default() });
+        let _ = DiffPart::new(
+            &taxonomy,
+            DiffPartConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub struct PrivacyBudget {
 impl PrivacyBudget {
     /// Creates a budget of `epsilon` (> 0).
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         PrivacyBudget {
             total: epsilon,
             spent: 0.0,
@@ -101,10 +104,8 @@ mod tests {
         let samples_loose: Vec<f64> = (0..n).map(|_| mech.sample_noise(0.1, &mut rng)).collect();
         let mean = samples_tight.iter().sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        let mad_tight =
-            samples_tight.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
-        let mad_loose =
-            samples_loose.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        let mad_tight = samples_tight.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        let mad_loose = samples_loose.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
         // E|X| = b, so the ratio of mean absolute deviations ≈ 10.
         let ratio = mad_loose / mad_tight;
         assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");

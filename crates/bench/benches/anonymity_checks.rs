@@ -38,7 +38,9 @@ fn bench_km_check(c: &mut Criterion) {
 
 fn bench_k_check(c: &mut Criterion) {
     let records = cluster(200, 30, 5, 11);
-    c.bench_function("is_k_anonymous/200", |b| b.iter(|| is_k_anonymous(&records, 5)));
+    c.bench_function("is_k_anonymous/200", |b| {
+        b.iter(|| is_k_anonymous(&records, 5))
+    });
 }
 
 fn bench_incremental_checker(c: &mut Criterion) {
@@ -59,5 +61,10 @@ fn bench_incremental_checker(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_km_check, bench_k_check, bench_incremental_checker);
+criterion_group!(
+    benches,
+    bench_km_check,
+    bench_k_check,
+    bench_incremental_checker
+);
 criterion_main!(benches);

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{QuestConfig, QuestGenerator};
-use fimi::{mine_frequent_apriori, mine_frequent_fpgrowth, records_to_transactions, top_k_frequent, TopKConfig};
+use fimi::{
+    mine_frequent_apriori, mine_frequent_fpgrowth, records_to_transactions, top_k_frequent,
+    TopKConfig,
+};
 
 fn transactions(records: usize) -> Vec<Vec<u32>> {
     let dataset = QuestGenerator::generate_with(QuestConfig {

@@ -31,6 +31,9 @@ fn main() {
         eprintln!(">>> running {name} at scale 1/{scale}");
         let started = std::time::Instant::now();
         fun(scale).finish();
-        eprintln!("<<< {name} finished in {:.1}s\n", started.elapsed().as_secs_f64());
+        eprintln!(
+            "<<< {name} finished in {:.1}s\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

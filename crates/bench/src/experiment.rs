@@ -67,7 +67,10 @@ impl ExperimentReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
-        out.push_str(&format!("params: {} (scale 1/{})\n", self.parameters, self.scale));
+        out.push_str(&format!(
+            "params: {} (scale 1/{})\n",
+            self.parameters, self.scale
+        ));
         if self.series.is_empty() {
             return out;
         }
@@ -168,7 +171,9 @@ mod tests {
         assert!(table.contains("0.0500"));
         assert!(table.contains("POS"));
         // Missing points render as '-'.
-        assert!(table.lines().any(|l| l.starts_with("WV1") && l.contains('-')));
+        assert!(table
+            .lines()
+            .any(|l| l.starts_with("WV1") && l.contains('-')));
     }
 
     #[test]

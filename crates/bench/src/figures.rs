@@ -38,10 +38,7 @@ fn anonymize(dataset: &Dataset, k: usize, m: usize) -> disassociation::Disassoci
 fn loss_config(dataset: &Dataset) -> LossConfig {
     let top_k = (dataset.len() / 25).clamp(50, 1000);
     LossConfig {
-        tkd: TkdConfig {
-            top_k,
-            max_len: 3,
-        },
+        tkd: TkdConfig { top_k, max_len: 3 },
         re_window: re_window_for(dataset),
         ..Default::default()
     }
@@ -207,7 +204,10 @@ pub fn fig07d(scale: usize) -> ExperimentReport {
     ];
     for &start in &starts {
         let window = pair_window(&w.dataset, start..start + 20);
-        re_a.push(start, relative_error_chunks(&w.dataset, &output.dataset, &window));
+        re_a.push(
+            start,
+            relative_error_chunks(&w.dataset, &output.dataset, &window),
+        );
         for (n, series) in curves.iter_mut() {
             series.push(
                 start,
@@ -453,7 +453,10 @@ pub fn fig11b(scale: usize) -> ExperimentReport {
             .iter()
             .map(|r| r.iter().map(|t| t.raw()).collect())
             .collect();
-        dis.push(&w.name, tkd_ml2(&w.dataset, &recon_leaf, &taxonomy, &cfg.tkd));
+        dis.push(
+            &w.name,
+            tkd_ml2(&w.dataset, &recon_leaf, &taxonomy, &cfg.tkd),
+        );
 
         let result = AprioriAnonymizer::new(
             &taxonomy,
@@ -464,7 +467,10 @@ pub fn fig11b(scale: usize) -> ExperimentReport {
             },
         )
         .anonymize(&w.dataset);
-        apriori.push(&w.name, tkd_ml2(&w.dataset, &result.generalized_records, &taxonomy, &cfg.tkd));
+        apriori.push(
+            &w.name,
+            tkd_ml2(&w.dataset, &result.generalized_records, &taxonomy, &cfg.tkd),
+        );
     }
     report.add_series(dis);
     report.add_series(apriori);
@@ -494,10 +500,16 @@ pub fn fig11c(scale: usize) -> ExperimentReport {
         let output = anonymize(&w.dataset, PAPER_K, PAPER_M);
         let mut rng = StdRng::seed_from_u64(0x11C);
         let reconstruction = reconstruct(&output.dataset, &mut rng);
-        dis.push(&w.name, relative_error_datasets(&w.dataset, &reconstruction, &window));
+        dis.push(
+            &w.name,
+            relative_error_datasets(&w.dataset, &reconstruction, &window),
+        );
 
         let diff = DiffPart::new(&taxonomy, DiffPartConfig::paper_best()).sanitize(&w.dataset);
-        dp.push(&w.name, relative_error_datasets(&w.dataset, &diff.dataset, &window));
+        dp.push(
+            &w.name,
+            relative_error_datasets(&w.dataset, &diff.dataset, &window),
+        );
 
         let result = AprioriAnonymizer::new(
             &taxonomy,
@@ -508,7 +520,10 @@ pub fn fig11c(scale: usize) -> ExperimentReport {
             },
         )
         .anonymize(&w.dataset);
-        apriori.push(&w.name, apriori_pair_re(&w.dataset, &result, &taxonomy, &window));
+        apriori.push(
+            &w.name,
+            apriori_pair_re(&w.dataset, &result, &taxonomy, &window),
+        );
     }
     report.add_series(dis);
     report.add_series(dp);

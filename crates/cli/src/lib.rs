@@ -209,13 +209,17 @@ impl Command {
                 out: path,
             } => {
                 let dataset = match kind.as_str() {
-                    "quest" => QuestGenerator::generate_with(QuestConfig {
-                        num_transactions: *records,
-                        domain_size: *domain,
-                        avg_transaction_len: *avg_len,
-                        seed: *seed,
-                        ..QuestConfig::default()
-                    }),
+                    "quest" => {
+                        let config = QuestConfig {
+                            num_transactions: *records,
+                            domain_size: *domain,
+                            avg_transaction_len: *avg_len,
+                            seed: *seed,
+                            ..QuestConfig::default()
+                        };
+                        config.validate().map_err(CliError)?;
+                        QuestGenerator::generate_with(config)
+                    }
                     "pos" => RealDataset::Pos.generate_scaled(*scale),
                     "wv1" => RealDataset::Wv1.generate_scaled(*scale),
                     "wv2" => RealDataset::Wv2.generate_scaled(*scale),
@@ -258,6 +262,7 @@ impl Command {
                     enable_refine: !no_refine,
                     ..Default::default()
                 };
+                config.validate().map_err(CliError)?;
                 let output = Disassociator::new(config).anonymize(&dataset);
                 let chunks_path = out_prefix.with_extension("chunks.json");
                 std::fs::write(&chunks_path, serde_json::to_vec_pretty(&output.dataset)?)?;
@@ -301,6 +306,7 @@ impl Command {
                     m: *m,
                     ..Default::default()
                 };
+                config.validate().map_err(CliError)?;
                 let output = Disassociator::new(config).anonymize(&dataset);
                 let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
                 writeln!(out, "{}", loss.table_row(&format!("k={k} m={m}")))?;
@@ -349,7 +355,12 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Generate { kind, records, domain, .. } => {
+            Command::Generate {
+                kind,
+                records,
+                domain,
+                ..
+            } => {
                 assert_eq!(kind, "quest");
                 assert_eq!(records, 100);
                 assert_eq!(domain, 50);
@@ -365,7 +376,9 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Anonymize { k, m, no_refine, .. } => {
+            Command::Anonymize {
+                k, m, no_refine, ..
+            } => {
                 assert_eq!((k, m), (5, 2));
                 assert!(no_refine);
             }
@@ -375,8 +388,8 @@ mod tests {
 
     #[test]
     fn missing_required_flag_is_an_error() {
-        let err = Command::parse(&args("anonymize --input d.dat --k 5 --out-prefix pub"))
-            .unwrap_err();
+        let err =
+            Command::parse(&args("anonymize --input d.dat --k 5 --out-prefix pub")).unwrap_err();
         assert!(err.0.contains("--m"));
     }
 

@@ -155,14 +155,23 @@ mod tests {
             rec(&[0, 1, 2]),
         ];
         assert!(is_km_anonymous(&subrecords, 3, 2));
-        assert!(!is_km_anonymous(&subrecords, 4, 2), "each pair appears exactly 3 times");
+        assert!(
+            !is_km_anonymous(&subrecords, 4, 2),
+            "each pair appears exactly 3 times"
+        );
     }
 
     #[test]
     fn km_anonymity_trivial_cases() {
         assert!(is_km_anonymous(&[], 5, 2));
-        assert!(is_km_anonymous(&[rec(&[1])], 1, 2), "k=1 is always satisfied");
-        assert!(is_km_anonymous(&[rec(&[1])], 5, 0), "m=0 means no background knowledge");
+        assert!(
+            is_km_anonymous(&[rec(&[1])], 1, 2),
+            "k=1 is always satisfied"
+        );
+        assert!(
+            is_km_anonymous(&[rec(&[1])], 5, 0),
+            "m=0 means no background knowledge"
+        );
         assert!(!is_km_anonymous(&[rec(&[1])], 2, 1));
     }
 
@@ -176,7 +185,10 @@ mod tests {
     fn km_violation_detected_for_rare_pair() {
         let subrecords = vec![rec(&[1, 2]), rec(&[1]), rec(&[2]), rec(&[1, 2])];
         assert!(is_km_anonymous(&subrecords, 2, 2));
-        assert!(!is_km_anonymous(&subrecords, 3, 2), "pair {{1,2}} appears twice");
+        assert!(
+            !is_km_anonymous(&subrecords, 3, 2),
+            "pair {{1,2}} appears twice"
+        );
         // With m = 1 only singletons matter: both appear 3 times.
         assert!(is_km_anonymous(&subrecords, 3, 1));
     }

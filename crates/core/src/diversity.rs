@@ -118,7 +118,11 @@ mod tests {
         let good = DisassociatedDataset {
             k: 2,
             m: 2,
-            clusters: vec![ClusterNode::Simple(cluster_with_term_chunk(5, &[1], &[100]))],
+            clusters: vec![ClusterNode::Simple(cluster_with_term_chunk(
+                5,
+                &[1],
+                &[100],
+            ))],
         };
         assert!(sensitive_terms_isolated(&good, &sensitive(&[100])));
         let bad = DisassociatedDataset {

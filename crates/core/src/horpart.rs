@@ -66,8 +66,7 @@ pub fn horizontal_partition(
     // Work stack of (record indices, ignore set). The ignore set is shared
     // along a path of the recursion tree; cloning it per node is acceptable
     // because its size is bounded by the recursion depth.
-    let mut stack: Vec<(Vec<usize>, BTreeSet<TermId>)> =
-        vec![(all_indices, ignore_terms.clone())];
+    let mut stack: Vec<(Vec<usize>, BTreeSet<TermId>)> = vec![(all_indices, ignore_terms.clone())];
     let mut clusters = Vec::new();
 
     while let Some((indices, ignore)) = stack.pop() {
@@ -304,7 +303,9 @@ mod tests {
         merge_small_clusters(&mut p, 2);
         assert_eq!(p, before);
         // A single undersized cluster cannot be merged with anything.
-        let mut single = HorizontalPartition { clusters: vec![vec![0]] };
+        let mut single = HorizontalPartition {
+            clusters: vec![vec![0]],
+        };
         merge_small_clusters(&mut single, 5);
         assert_eq!(single.clusters.len(), 1);
     }

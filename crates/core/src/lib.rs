@@ -18,11 +18,11 @@
 //!    small clusters.
 //! 2. **Vertical partitioning** ([`verpart`]) splits every cluster into
 //!    k^m-anonymous *record chunks* and one *term chunk*.
-//! 3. **Refining** ([`refine`]) merges clusters into *joint clusters* with
+//! 3. **Refining** ([`refine`](mod@refine)) merges clusters into *joint clusters* with
 //!    *shared chunks*, recovering the supports of terms that are rare per
 //!    cluster but frequent overall.
 //!
-//! The result is a [`DisassociatedDataset`]; [`reconstruct`] samples possible
+//! The result is a [`DisassociatedDataset`]; [`reconstruct`](mod@reconstruct) samples possible
 //! original datasets from it for analysis, and [`verify`] re-checks the
 //! guarantee independently.
 //!
@@ -271,8 +271,9 @@ impl Disassociator {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(clusters.len().max(1));
-        let results: Vec<parking_lot::Mutex<Option<WorkCluster>>> =
-            (0..clusters.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parking_lot::Mutex<Option<WorkCluster>>> = (0..clusters.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         crossbeam::scope(|scope| {
             for _ in 0..n_threads {
@@ -304,7 +305,9 @@ impl Disassociator {
             .iter()
             .map(|&idx| dataset.records()[idx].clone())
             .collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (cluster_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ (cluster_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let cluster = vertical_partition(&records, self.config.k, self.config.m, options, &mut rng);
         WorkCluster {
             record_indices: indices.to_vec(),
@@ -383,7 +386,12 @@ mod tests {
     fn cluster_assignment_partitions_the_record_indices() {
         let d = figure2_dataset();
         let output = disassociate(&d, 2, 2);
-        let mut all: Vec<usize> = output.cluster_assignment.iter().flatten().copied().collect();
+        let mut all: Vec<usize> = output
+            .cluster_assignment
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
         assert_eq!(
@@ -469,7 +477,10 @@ mod tests {
             ..Default::default()
         })
         .anonymize(&d);
-        assert!(diversity::sensitive_terms_isolated(&output.dataset, &sensitive));
+        assert!(diversity::sensitive_terms_isolated(
+            &output.dataset,
+            &sensitive
+        ));
         assert!(diversity::achieved_diversity(&output.dataset, &sensitive).unwrap() >= 2);
         assert!(verify::verify_structure(&output.dataset).is_ok());
     }
@@ -492,17 +503,34 @@ mod tests {
 
     #[test]
     fn config_validation_and_effective_cluster_size() {
-        assert!(DisassociationConfig { k: 1, ..Default::default() }.validate().is_err());
-        assert!(DisassociationConfig { m: 0, ..Default::default() }.validate().is_err());
+        assert!(DisassociationConfig {
+            k: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DisassociationConfig {
+            m: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(DisassociationConfig::paper_default().validate().is_ok());
         assert_eq!(
-            DisassociationConfig { k: 5, max_cluster_size: 0, ..Default::default() }
-                .effective_max_cluster_size(),
+            DisassociationConfig {
+                k: 5,
+                max_cluster_size: 0,
+                ..Default::default()
+            }
+            .effective_max_cluster_size(),
             50
         );
         assert_eq!(
-            DisassociationConfig { max_cluster_size: 7, ..Default::default() }
-                .effective_max_cluster_size(),
+            DisassociationConfig {
+                max_cluster_size: 7,
+                ..Default::default()
+            }
+            .effective_max_cluster_size(),
             7
         );
     }

@@ -395,7 +395,10 @@ mod tests {
         Cluster {
             size: 5,
             record_chunks: vec![
-                RecordChunk::new(vec![tid(0), tid(1)], vec![rec(&[0, 1]), rec(&[0]), rec(&[0, 1]), rec(&[])]),
+                RecordChunk::new(
+                    vec![tid(0), tid(1)],
+                    vec![rec(&[0, 1]), rec(&[0]), rec(&[0, 1]), rec(&[])],
+                ),
                 RecordChunk::new(vec![tid(2)], vec![rec(&[2]), rec(&[2]), rec(&[2])]),
             ],
             term_chunk: TermChunk::new(vec![tid(5), tid(6)]),
@@ -411,7 +414,10 @@ mod tests {
 
     #[test]
     fn record_chunk_support() {
-        let c = RecordChunk::new(vec![tid(0), tid(1)], vec![rec(&[0, 1]), rec(&[0]), rec(&[0, 1])]);
+        let c = RecordChunk::new(
+            vec![tid(0), tid(1)],
+            vec![rec(&[0, 1]), rec(&[0]), rec(&[0, 1])],
+        );
         assert_eq!(c.support(&[tid(0)]), 3);
         assert_eq!(c.support(&[tid(0), tid(1)]), 2);
         assert_eq!(c.support(&[tid(9)]), 0);
@@ -441,7 +447,11 @@ mod tests {
     fn cluster_support_lower_bounds() {
         let c = simple_cluster();
         assert_eq!(c.term_support_lower_bound(tid(0)), 3);
-        assert_eq!(c.term_support_lower_bound(tid(5)), 1, "term chunk contributes 1");
+        assert_eq!(
+            c.term_support_lower_bound(tid(5)),
+            1,
+            "term chunk contributes 1"
+        );
         assert_eq!(c.term_support_lower_bound(tid(9)), 0);
     }
 

@@ -77,11 +77,7 @@ fn node_support(
 
 /// Support contribution of one simple cluster (with the shared chunks of its
 /// ancestors visible).
-fn cluster_support(
-    cluster: &Cluster,
-    terms: &[TermId],
-    shared: &[&SharedChunk],
-) -> (u64, f64) {
+fn cluster_support(cluster: &Cluster, terms: &[TermId], shared: &[&SharedChunk]) -> (u64, f64) {
     let size = cluster.size as f64;
     if cluster.size == 0 {
         return (0, 0.0);
@@ -91,19 +87,19 @@ fn cluster_support(
     let mut per_chunk_supports: Vec<u64> = Vec::new();
     let mut term_chunk_hits = 0usize;
 
-    let consume = |domain: &[TermId], support_of: &dyn Fn(&[TermId]) -> u64,
-                       remaining: &mut Vec<TermId>| {
-        let part: Vec<TermId> = remaining
-            .iter()
-            .copied()
-            .filter(|t| domain.binary_search(t).is_ok())
-            .collect();
-        if part.is_empty() {
-            return None;
-        }
-        remaining.retain(|t| !part.contains(t));
-        Some(support_of(&part))
-    };
+    let consume =
+        |domain: &[TermId], support_of: &dyn Fn(&[TermId]) -> u64, remaining: &mut Vec<TermId>| {
+            let part: Vec<TermId> = remaining
+                .iter()
+                .copied()
+                .filter(|t| domain.binary_search(t).is_ok())
+                .collect();
+            if part.is_empty() {
+                return None;
+            }
+            remaining.retain(|t| !part.contains(t));
+            Some(support_of(&part))
+        };
 
     for chunk in &cluster.record_chunks {
         if let Some(s) = consume(&chunk.domain, &|p| chunk.support(p), &mut remaining) {
@@ -173,7 +169,13 @@ mod tests {
                 record_chunks: vec![
                     RecordChunk::new(
                         vec![tid(0), tid(1), tid(2)],
-                        vec![rec(&[0, 1, 2]), rec(&[1, 2]), rec(&[0, 2]), rec(&[0, 1]), rec(&[0, 1, 2])],
+                        vec![
+                            rec(&[0, 1, 2]),
+                            rec(&[1, 2]),
+                            rec(&[0, 2]),
+                            rec(&[0, 1]),
+                            rec(&[0, 1, 2]),
+                        ],
                     ),
                     RecordChunk::new(vec![tid(3), tid(4)], vec![rec(&[3, 4]); 3]),
                 ],
@@ -235,19 +237,24 @@ mod tests {
     fn estimates_aggregate_over_clusters_and_joints() {
         let mut ds = figure2b();
         // Add a joint cluster whose shared chunk carries term 9.
-        ds.clusters.push(ClusterNode::Joint(crate::model::JointCluster {
-            children: vec![ClusterNode::Simple(Cluster {
-                size: 4,
-                record_chunks: vec![RecordChunk::new(vec![tid(0)], vec![rec(&[0]); 4])],
-                term_chunk: TermChunk::default(),
-            })],
-            shared_chunks: vec![SharedChunk {
-                chunk: RecordChunk::new(vec![tid(9)], vec![rec(&[9]); 3]),
-                requires_k_anonymity: false,
-            }],
-        }));
+        ds.clusters
+            .push(ClusterNode::Joint(crate::model::JointCluster {
+                children: vec![ClusterNode::Simple(Cluster {
+                    size: 4,
+                    record_chunks: vec![RecordChunk::new(vec![tid(0)], vec![rec(&[0]); 4])],
+                    term_chunk: TermChunk::default(),
+                })],
+                shared_chunks: vec![SharedChunk {
+                    chunk: RecordChunk::new(vec![tid(9)], vec![rec(&[9]); 3]),
+                    requires_k_anonymity: false,
+                }],
+            }));
         let est = itemset_support(&ds, &[tid(0)]);
-        assert_eq!(est.lower_bound, 4 + 4, "both clusters publish itunes in chunks");
+        assert_eq!(
+            est.lower_bound,
+            4 + 4,
+            "both clusters publish itunes in chunks"
+        );
         let shared = itemset_support(&ds, &[tid(9)]);
         assert_eq!(shared.lower_bound, 3);
         // itunes + 9 only co-reconstructible in the joint: 4 · (4/4) · (3/4) = 3.

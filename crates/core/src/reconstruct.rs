@@ -145,7 +145,13 @@ mod tests {
             record_chunks: vec![
                 RecordChunk::new(
                     vec![tid(0), tid(1), tid(2)],
-                    vec![rec(&[0, 1, 2]), rec(&[2, 1]), rec(&[0, 2]), rec(&[0, 1]), rec(&[0, 1, 2])],
+                    vec![
+                        rec(&[0, 1, 2]),
+                        rec(&[2, 1]),
+                        rec(&[0, 2]),
+                        rec(&[0, 1]),
+                        rec(&[0, 1, 2]),
+                    ],
                 ),
                 RecordChunk::new(
                     vec![tid(3), tid(4)],
@@ -157,7 +163,11 @@ mod tests {
     }
 
     fn published(clusters: Vec<ClusterNode>) -> DisassociatedDataset {
-        DisassociatedDataset { k: 3, m: 2, clusters }
+        DisassociatedDataset {
+            k: 3,
+            m: 2,
+            clusters,
+        }
     }
 
     #[test]

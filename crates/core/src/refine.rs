@@ -121,7 +121,10 @@ impl WorkNode {
         match self {
             WorkNode::Simple(w) => ClusterNode::Simple(w.cluster),
             WorkNode::Joint { children, shared } => ClusterNode::Joint(JointCluster {
-                children: children.into_iter().map(WorkNode::into_cluster_node).collect(),
+                children: children
+                    .into_iter()
+                    .map(WorkNode::into_cluster_node)
+                    .collect(),
                 shared_chunks: shared,
             }),
         }
@@ -501,7 +504,11 @@ mod tests {
         assert_eq!(children.len(), 2);
         assert_eq!(shared.len(), 1);
         let sc = &shared[0].chunk;
-        assert_eq!(sc.domain, vec![tid(5), tid(7)], "shared chunk over ikea, ruby");
+        assert_eq!(
+            sc.domain,
+            vec![tid(5), tid(7)],
+            "shared chunk over ikea, ruby"
+        );
         // Figure 3: {ikea,ruby} ×3, {ikea} ×1, {ruby} ×1 — five subrecords.
         assert_eq!(sc.subrecords.len(), 5);
         assert_eq!(sc.support(&[tid(5), tid(7)]), 3);
@@ -534,18 +541,8 @@ mod tests {
     fn refining_terms_below_k_are_not_promoted() {
         // Term 9 appears once in each cluster's term chunk: joint support 2 < k = 3.
         let (k, m) = (3, 2);
-        let a = work_cluster(
-            vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[1])],
-            0,
-            k,
-            m,
-        );
-        let b = work_cluster(
-            vec![rec(&[2, 9]), rec(&[2]), rec(&[2]), rec(&[2])],
-            4,
-            k,
-            m,
-        );
+        let a = work_cluster(vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[1])], 0, k, m);
+        let b = work_cluster(vec![rec(&[2, 9]), rec(&[2]), rec(&[2]), rec(&[2])], 4, k, m);
         let nodes = refine(
             vec![WorkNode::Simple(a), WorkNode::Simple(b)],
             k,
@@ -599,7 +596,12 @@ mod tests {
         );
         assert!(p1.cluster.record_chunk_terms().contains(&tid(5)));
         // P2: term 5 in the term chunk (support 2 < k).
-        let p2 = work_cluster(vec![rec(&[2, 5]), rec(&[2, 5]), rec(&[2]), rec(&[2])], 4, k, m);
+        let p2 = work_cluster(
+            vec![rec(&[2, 5]), rec(&[2, 5]), rec(&[2]), rec(&[2])],
+            4,
+            k,
+            m,
+        );
         assert!(p2.cluster.term_chunk.contains(tid(5)));
         // Node A is an (artificial) joint of P1 and P2 with no shared chunks.
         let a = WorkNode::Joint {
@@ -609,7 +611,12 @@ mod tests {
         assert!(a.virtual_term_chunk().contains(&tid(5)));
         assert!(a.record_and_shared_terms().contains(&tid(5)));
         // Node B: term 5 in the term chunk again.
-        let p3 = work_cluster(vec![rec(&[3, 5]), rec(&[3, 5]), rec(&[3]), rec(&[3])], 8, k, m);
+        let p3 = work_cluster(
+            vec![rec(&[3, 5]), rec(&[3, 5]), rec(&[3]), rec(&[3])],
+            8,
+            k,
+            m,
+        );
         assert!(p3.cluster.term_chunk.contains(tid(5)));
         let nodes = refine(
             vec![a, WorkNode::Simple(p3)],
@@ -630,7 +637,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_shared_over_5, "a shared chunk over term 5 should have been built");
+        assert!(
+            saw_shared_over_5,
+            "a shared chunk over term 5 should have been built"
+        );
     }
 
     #[test]
@@ -662,12 +672,10 @@ mod tests {
             &mut rng(),
         );
         assert_eq!(nodes.len(), 2, "Equation 1 must reject the dilutive join");
-        assert!(nodes
-            .iter()
-            .all(|n| match n {
-                WorkNode::Joint { shared, .. } => shared.is_empty(),
-                WorkNode::Simple(_) => true,
-            }));
+        assert!(nodes.iter().all(|n| match n {
+            WorkNode::Joint { shared, .. } => shared.is_empty(),
+            WorkNode::Simple(_) => true,
+        }));
     }
 
     #[test]
@@ -686,7 +694,12 @@ mod tests {
     fn refine_handles_single_and_empty_forests() {
         let nodes = refine(vec![], 3, 2, &RefineOptions::default(), &mut rng());
         assert!(nodes.is_empty());
-        let one = vec![WorkNode::Simple(work_cluster(figure2_p1_records(), 0, 3, 2))];
+        let one = vec![WorkNode::Simple(work_cluster(
+            figure2_p1_records(),
+            0,
+            3,
+            2,
+        ))];
         let nodes = refine(one, 3, 2, &RefineOptions::default(), &mut rng());
         assert_eq!(nodes.len(), 1);
     }
@@ -699,12 +712,7 @@ mod tests {
         let (k, m) = (3, 2);
         let mk = |base: u32, start: usize| {
             work_cluster(
-                vec![
-                    rec(&[base, 9]),
-                    rec(&[base, 9]),
-                    rec(&[base]),
-                    rec(&[base]),
-                ],
+                vec![rec(&[base, 9]), rec(&[base, 9]), rec(&[base]), rec(&[base])],
                 start,
                 k,
                 m,

@@ -100,17 +100,19 @@ pub fn verify_structure(published: &DisassociatedDataset) -> VerificationReport 
         for chunk in &cluster.record_chunks {
             for &t in &chunk.domain {
                 if !seen.insert(t) {
-                    report
-                        .violations
-                        .push(Violation::OverlappingChunkDomains { cluster: ci, term: t });
+                    report.violations.push(Violation::OverlappingChunkDomains {
+                        cluster: ci,
+                        term: t,
+                    });
                 }
             }
         }
         for &t in &cluster.term_chunk.terms {
             if seen.contains(&t) {
-                report
-                    .violations
-                    .push(Violation::OverlappingChunkDomains { cluster: ci, term: t });
+                report.violations.push(Violation::OverlappingChunkDomains {
+                    cluster: ci,
+                    term: t,
+                });
             }
         }
         // Lemma 2.
@@ -223,9 +225,7 @@ pub fn verify_attack(
 
 /// For every simple cluster (depth-first order), the shared chunks of all its
 /// ancestor joint clusters.
-fn shared_chunks_per_simple_cluster(
-    published: &DisassociatedDataset,
-) -> Vec<Vec<&SharedChunk>> {
+fn shared_chunks_per_simple_cluster(published: &DisassociatedDataset) -> Vec<Vec<&SharedChunk>> {
     fn walk<'a>(
         node: &'a ClusterNode,
         inherited: &mut Vec<&'a SharedChunk>,
@@ -309,7 +309,10 @@ fn candidate_count(cluster: &Cluster, shared: &[&SharedChunk], terms: &[TermId])
         let mut per_chunk: std::collections::HashMap<usize, Vec<TermId>> =
             std::collections::HashMap::new();
         for (i, (t, options)) in constrained.iter().enumerate() {
-            per_chunk.entry(options[assignment[i]]).or_default().push(*t);
+            per_chunk
+                .entry(options[assignment[i]])
+                .or_default()
+                .push(*t);
         }
         let mut min_count = u64::MAX;
         for (chunk_idx, part) in &per_chunk {
@@ -355,7 +358,13 @@ mod tests {
             record_chunks: vec![
                 RecordChunk::new(
                     vec![tid(0), tid(1), tid(2)],
-                    vec![rec(&[0, 1, 2]), rec(&[2, 1]), rec(&[0, 2]), rec(&[0, 1]), rec(&[0, 1, 2])],
+                    vec![
+                        rec(&[0, 1, 2]),
+                        rec(&[2, 1]),
+                        rec(&[0, 2]),
+                        rec(&[0, 1]),
+                        rec(&[0, 1, 2]),
+                    ],
                 ),
                 RecordChunk::new(vec![tid(3), tid(4)], vec![rec(&[3, 4]); 3]),
             ],
@@ -414,7 +423,10 @@ mod tests {
         let report = verify_structure(&ds);
         assert!(matches!(
             report.violations.as_slice(),
-            [Violation::RecordChunkNotAnonymous { cluster: 0, chunk: 0 }]
+            [Violation::RecordChunkNotAnonymous {
+                cluster: 0,
+                chunk: 0
+            }]
         ));
     }
 
@@ -434,10 +446,9 @@ mod tests {
             clusters: vec![ClusterNode::Simple(bad)],
         };
         let report = verify_structure(&ds);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::OverlappingChunkDomains { term, .. } if *term == tid(1))));
+        assert!(report.violations.iter().any(
+            |v| matches!(v, Violation::OverlappingChunkDomains { term, .. } if *term == tid(1))
+        ));
     }
 
     #[test]
@@ -458,10 +469,14 @@ mod tests {
             clusters: vec![ClusterNode::Simple(bad)],
         };
         let report = verify_structure(&ds);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::Lemma2Violated { have: 6, need: 8, .. })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::Lemma2Violated {
+                have: 6,
+                need: 8,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -536,7 +551,10 @@ mod tests {
         let report = verify_structure(&ds);
         assert!(report.violations.iter().any(|v| matches!(
             v,
-            Violation::SharedChunkNotAnonymous { required_k_anonymity: true, .. }
+            Violation::SharedChunkNotAnonymous {
+                required_k_anonymity: true,
+                ..
+            }
         )));
     }
 

@@ -184,7 +184,7 @@ pub fn lemma2_holds(cluster: &Cluster, k: usize, m: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::anonymity::{is_km_anonymous, is_k_anonymous};
+    use crate::anonymity::{is_k_anonymous, is_km_anonymous};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -226,7 +226,10 @@ mod tests {
         // The paper's result: T1 = {itunes, flu, madonna}, T2 = {audi, sony},
         // TT = {ikea, viagra, ruby}.
         assert_eq!(cluster.record_chunks.len(), 2);
-        assert_eq!(cluster.record_chunks[0].domain, vec![tid(0), tid(1), tid(2)]);
+        assert_eq!(
+            cluster.record_chunks[0].domain,
+            vec![tid(0), tid(1), tid(2)]
+        );
         assert_eq!(cluster.record_chunks[1].domain, vec![tid(3), tid(4)]);
         assert_eq!(cluster.term_chunk.terms, vec![tid(5), tid(6), tid(7)]);
         // Chunk contents: C1 has 5 non-empty subrecords, C2 has 3.
@@ -278,7 +281,10 @@ mod tests {
         let records = vec![rec(&[1, 2]), rec(&[1, 3]), rec(&[1, 4]), rec(&[1, 5])];
         let cluster = vertical_partition(&records, 2, 2, &no_shuffle(), &mut rng());
         // Terms 2..5 have support 1 < k = 2.
-        assert_eq!(cluster.term_chunk.terms, vec![tid(2), tid(3), tid(4), tid(5)]);
+        assert_eq!(
+            cluster.term_chunk.terms,
+            vec![tid(2), tid(3), tid(4), tid(5)]
+        );
         assert_eq!(cluster.record_chunks.len(), 1);
         assert_eq!(cluster.record_chunks[0].domain, vec![tid(1)]);
     }
@@ -364,7 +370,10 @@ mod tests {
         }
         let repaired = enforce_lemma2(&mut cluster, &supports, 3, 2);
         assert!(repaired);
-        assert!(cluster.term_chunk.contains(tid(2)), "least frequent term demoted");
+        assert!(
+            cluster.term_chunk.contains(tid(2)),
+            "least frequent term demoted"
+        );
         assert_eq!(cluster.record_chunks.len(), 1);
         assert!(lemma2_holds(&cluster, 3, 2));
     }
@@ -381,7 +390,10 @@ mod tests {
             let mut sb = b.subrecords.clone();
             sa.sort_by(|x, y| x.terms().cmp(y.terms()));
             sb.sort_by(|x, y| x.terms().cmp(y.terms()));
-            assert_eq!(sa, sb, "shuffling must not change the multiset of subrecords");
+            assert_eq!(
+                sa, sb,
+                "shuffling must not change the multiset of subrecords"
+            );
         }
     }
 

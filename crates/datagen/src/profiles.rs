@@ -91,7 +91,11 @@ impl RealDataset {
 
 /// A statistical profile of a transactional dataset (the Figure 6 columns
 /// plus the Zipf exponent and seed used to synthesize it).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serializes but does not implement `Deserialize`: the `name` field is a
+/// `&'static str` referring to the compiled-in profile table, which cannot
+/// be reconstructed from owned JSON data.
+#[derive(Debug, Clone, Serialize)]
 pub struct DatasetProfile {
     /// Display name.
     pub name: &'static str,
@@ -217,7 +221,10 @@ mod tests {
     fn wv1_short_records_dominate() {
         let d = RealDataset::Wv1.generate_scaled(50);
         let avg = d.avg_record_len();
-        assert!(avg < 4.0, "WV1 records should be short on average, got {avg}");
+        assert!(
+            avg < 4.0,
+            "WV1 records should be short on average, got {avg}"
+        );
     }
 
     #[test]

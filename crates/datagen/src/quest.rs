@@ -143,7 +143,8 @@ impl QuestGenerator {
         let mut patterns: Vec<Pattern> = Vec::with_capacity(config.num_patterns);
         let mut prev_items: Vec<TermId> = Vec::new();
         for _ in 0..config.num_patterns {
-            let len = pattern_len.sample_clamped(&mut rng, 1, (config.domain_size as u64).max(1)) as usize;
+            let len = pattern_len.sample_clamped(&mut rng, 1, (config.domain_size as u64).max(1))
+                as usize;
             let mut items: Vec<TermId> = Vec::with_capacity(len);
             // Copy a `correlation` fraction from the previous pattern.
             if !prev_items.is_empty() {
@@ -206,7 +207,10 @@ impl QuestGenerator {
                     continue;
                 }
                 // Quest: if the pattern does not fit, keep it anyway half the time.
-                if items.len() + kept.len() > target_len && self.rng.gen::<bool>() && !items.is_empty() {
+                if items.len() + kept.len() > target_len
+                    && self.rng.gen::<bool>()
+                    && !items.is_empty()
+                {
                     continue;
                 }
                 for it in kept {
@@ -307,7 +311,10 @@ mod tests {
             domain_size: 150,
             ..QuestConfig::default()
         };
-        let a = QuestGenerator::generate_with(QuestConfig { seed: 1, ..base.clone() });
+        let a = QuestGenerator::generate_with(QuestConfig {
+            seed: 1,
+            ..base.clone()
+        });
         let b = QuestGenerator::generate_with(QuestConfig { seed: 2, ..base });
         assert_ne!(a, b);
     }
@@ -325,7 +332,10 @@ mod tests {
         assert!(!ordered.is_empty());
         let top = supports.support(ordered[0]);
         let median = supports.support(ordered[ordered.len() / 2]);
-        assert!(top >= 4 * median.max(1), "expected a skewed distribution: top={top} median={median}");
+        assert!(
+            top >= 4 * median.max(1),
+            "expected a skewed distribution: top={top} median={median}"
+        );
     }
 
     #[test]
@@ -339,16 +349,39 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        assert!(QuestConfig { num_transactions: 0, ..QuestConfig::default() }.validate().is_err());
-        assert!(QuestConfig { domain_size: 0, ..QuestConfig::default() }.validate().is_err());
-        assert!(QuestConfig { corruption: 1.5, ..QuestConfig::default() }.validate().is_err());
-        assert!(QuestConfig { correlation: -0.1, ..QuestConfig::default() }.validate().is_err());
+        assert!(QuestConfig {
+            num_transactions: 0,
+            ..QuestConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            domain_size: 0,
+            ..QuestConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            corruption: 1.5,
+            ..QuestConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(QuestConfig {
+            correlation: -0.1,
+            ..QuestConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(QuestConfig::default().validate().is_ok());
     }
 
     #[test]
     #[should_panic(expected = "invalid Quest configuration")]
     fn constructor_panics_on_invalid_config() {
-        let _ = QuestGenerator::new(QuestConfig { num_patterns: 0, ..QuestConfig::default() });
+        let _ = QuestGenerator::new(QuestConfig {
+            num_patterns: 0,
+            ..QuestConfig::default()
+        });
     }
 }

@@ -81,7 +81,10 @@ pub struct PoissonSampler {
 impl PoissonSampler {
     /// Creates a sampler with mean `lambda` (> 0).
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         PoissonSampler { lambda }
     }
 

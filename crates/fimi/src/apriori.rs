@@ -88,7 +88,10 @@ pub fn mine_frequent_apriori(
         for (items, count) in counts {
             if count >= min_support {
                 next.push(items.clone());
-                level_results.push(FrequentItemset { items, support: count });
+                level_results.push(FrequentItemset {
+                    items,
+                    support: count,
+                });
             }
         }
         next.sort_unstable();
@@ -181,7 +184,13 @@ pub fn mine_frequent_bruteforce(
         };
         let n = items.len();
         // Enumerate all non-empty subsets up to max_len.
-        fn rec(items: &[u32], start: usize, max_len: usize, cur: &mut Vec<u32>, counts: &mut HashMap<Vec<u32>, u64>) {
+        fn rec(
+            items: &[u32],
+            start: usize,
+            max_len: usize,
+            cur: &mut Vec<u32>,
+            counts: &mut HashMap<Vec<u32>, u64>,
+        ) {
             for i in start..items.len() {
                 cur.push(items[i]);
                 *counts.entry(cur.clone()).or_insert(0) += 1;
@@ -220,13 +229,7 @@ mod tests {
     #[test]
     fn textbook_example() {
         // The classic {bread, milk, beer} style example.
-        let t = tx(&[
-            &[1, 2, 3],
-            &[1, 2],
-            &[1, 3],
-            &[2, 3],
-            &[1, 2, 3, 4],
-        ]);
+        let t = tx(&[&[1, 2, 3], &[1, 2], &[1, 3], &[2, 3], &[1, 2, 3, 4]]);
         let result = mine_frequent_apriori(&t, 3, 3);
         let map: std::collections::HashMap<Vec<u32>, u64> =
             result.into_iter().map(|f| (f.items, f.support)).collect();
@@ -282,7 +285,10 @@ mod tests {
             let min_support = rng.gen_range(1..4);
             let apriori = normalized(mine_frequent_apriori(&t, min_support, 3));
             let brute = normalized(mine_frequent_bruteforce(&t, min_support, 3));
-            assert_eq!(apriori, brute, "case {case} min_support {min_support} tx {t:?}");
+            assert_eq!(
+                apriori, brute,
+                "case {case} min_support {min_support} tx {t:?}"
+            );
         }
     }
 

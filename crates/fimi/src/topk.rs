@@ -10,6 +10,13 @@
 //!    has support ≥ the K-th largest itemset support, which is ≥ `θ` because
 //!    the K most frequent singletons are themselves itemsets;
 //! 3. sort canonically and keep the first K.
+//!
+//! A low `θ` can mean *enumerate every itemset of every (repeated) record*
+//! — up to `Σ_t C(|t|, max_len)` subsets, which is ~10^8 for a single
+//! 200-term click-stream record and effectively unbounded. The derived
+//! threshold is therefore raised until the estimated enumeration work fits
+//! a fixed budget, trading the (arbitrarily tie-ranked) low-support tail of
+//! the top-K for a bounded run; exactness on small inputs is preserved.
 
 use crate::{mine_frequent_apriori, mine_frequent_fpgrowth, sort_canonical, FrequentItemset};
 use std::collections::HashMap;
@@ -39,6 +46,12 @@ pub struct TopKConfig {
     /// singleton support is tiny and threshold mining would enumerate an
     /// enormous number of itemsets.
     pub min_relative_support: Option<f64>,
+    /// Optional absolute floor for the derived threshold.  Unlike
+    /// [`min_relative_support`](Self::min_relative_support) it does not
+    /// depend on the mined dataset's own transaction count, so a metric
+    /// comparing two datasets of different sizes (e.g. tKd's original vs.
+    /// chunk subrecords) can apply the *same* cut-off to both sides.
+    pub min_absolute_support: Option<u64>,
 }
 
 impl Default for TopKConfig {
@@ -48,6 +61,7 @@ impl Default for TopKConfig {
             max_len: 4,
             miner: MinerKind::FpGrowth,
             min_relative_support: None,
+            min_absolute_support: None,
         }
     }
 }
@@ -80,24 +94,80 @@ pub fn top_k_frequent(transactions: &[Vec<u32>], config: &TopKConfig) -> Vec<Fre
 
 /// Derives the mining threshold described in the module docs.
 fn derive_threshold(transactions: &[Vec<u32>], config: &TopKConfig) -> u64 {
-    let mut counts: HashMap<u32, u64> = HashMap::new();
+    // Distinct records (as sets) with multiplicities; singleton supports
+    // follow from the multiplicities without re-scanning the transactions.
+    let mut distinct: HashMap<Vec<u32>, u64> = HashMap::new();
     for t in transactions {
-        let mut seen: Vec<u32> = t.clone();
-        seen.sort_unstable();
-        seen.dedup();
-        for item in seen {
-            *counts.entry(item).or_insert(0) += 1;
+        let mut set = t.clone();
+        set.sort_unstable();
+        set.dedup();
+        *distinct.entry(set).or_insert(0) += 1;
+    }
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for (set, &multiplicity) in &distinct {
+        for &item in set {
+            *counts.entry(item).or_insert(0) += multiplicity;
         }
     }
     let mut supports: Vec<u64> = counts.into_values().collect();
     supports.sort_unstable_by(|a, b| b.cmp(a));
-    let kth = supports.get(config.k.saturating_sub(1)).copied().unwrap_or(1);
-    let floor = config
+    let kth = supports
+        .get(config.k.saturating_sub(1))
+        .copied()
+        .unwrap_or(1);
+    let relative_floor = config
         .min_relative_support
         .map(|f| ((transactions.len() as f64) * f).ceil() as u64)
-        .unwrap_or(1)
-        .max(1);
-    kth.max(floor)
+        .unwrap_or(1);
+    let absolute_floor = config.min_absolute_support.unwrap_or(1);
+    let mut threshold = kth.max(relative_floor).max(absolute_floor).max(1);
+
+    // Anti-blowup guard. The subsets of a single record can reach support
+    // `θ` on their own only when the record (as a set) repeats at least `θ`
+    // times, so the dominant term of the enumeration work at threshold `θ`
+    // is `Σ_{distinct t: count(t) ≥ θ} Σ_j C(|t|, j)` — a step function of
+    // `θ` that loses a record's contribution exactly when `θ` passes its
+    // multiplicity. Walk the contributing records in ascending multiplicity
+    // order, raising the threshold just past each one, until the remaining
+    // work fits the budget. Explosions driven by *near*-duplicate long
+    // records are not caught by this estimate; the paper's workloads have
+    // no such records.
+    let mut contributors: Vec<(u64, f64)> = distinct
+        .iter()
+        .filter(|&(_, &count)| count >= threshold)
+        .map(|(set, &count)| (count, subset_work(set.len(), config.max_len)))
+        .collect();
+    contributors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut work: f64 = contributors.iter().map(|&(_, w)| w).sum();
+    for &(count, record_work) in &contributors {
+        if work <= SUBSET_WORK_BUDGET {
+            break;
+        }
+        threshold = count + 1;
+        work -= record_work;
+    }
+    threshold
+}
+
+/// Upper bound on the estimated subset-enumeration work accepted before the
+/// degenerate floor of the module docs kicks in (a few million subsets ≈
+/// well under a second of mining).
+const SUBSET_WORK_BUDGET: f64 = 4_000_000.0;
+
+/// Number of subsets of length `1..=max_len` of an `n`-term record:
+/// `Σ_{j=1..max_len} C(n, j)`.
+fn subset_work(n: usize, max_len: usize) -> f64 {
+    let n = n as f64;
+    let mut total = 0.0;
+    let mut c = 1.0;
+    for j in 1..=max_len {
+        c = c * (n - (j as f64 - 1.0)) / j as f64;
+        if c <= 0.0 {
+            break;
+        }
+        total += c;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -112,7 +182,13 @@ mod tests {
     #[test]
     fn returns_at_most_k_results_sorted_by_support() {
         let t = tx(&[&[1, 2], &[1, 2], &[1, 3], &[1], &[2]]);
-        let top = top_k_frequent(&t, &TopKConfig { k: 3, ..TopKConfig::default() });
+        let top = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 3,
+                ..TopKConfig::default()
+            },
+        );
         assert_eq!(top.len(), 3);
         assert!(top.windows(2).all(|w| w[0].support >= w[1].support));
         assert_eq!(top[0].items, vec![1]);
@@ -133,7 +209,14 @@ mod tests {
                 })
                 .collect();
             let k = 10;
-            let top = top_k_frequent(&t, &TopKConfig { k, max_len: 3, ..TopKConfig::default() });
+            let top = top_k_frequent(
+                &t,
+                &TopKConfig {
+                    k,
+                    max_len: 3,
+                    ..TopKConfig::default()
+                },
+            );
 
             let mut all = mine_frequent_bruteforce(&t, 1, 3);
             sort_canonical(&mut all);
@@ -149,8 +232,22 @@ mod tests {
     #[test]
     fn both_miners_agree() {
         let t = tx(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3], &[1, 2, 3]]);
-        let a = top_k_frequent(&t, &TopKConfig { k: 8, miner: MinerKind::Apriori, ..TopKConfig::default() });
-        let b = top_k_frequent(&t, &TopKConfig { k: 8, miner: MinerKind::FpGrowth, ..TopKConfig::default() });
+        let a = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 8,
+                miner: MinerKind::Apriori,
+                ..TopKConfig::default()
+            },
+        );
+        let b = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 8,
+                miner: MinerKind::FpGrowth,
+                ..TopKConfig::default()
+            },
+        );
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.items, y.items);
@@ -162,13 +259,26 @@ mod tests {
     fn zero_k_or_empty_input() {
         assert!(top_k_frequent(&[], &TopKConfig::default()).is_empty());
         let t = tx(&[&[1]]);
-        assert!(top_k_frequent(&t, &TopKConfig { k: 0, ..TopKConfig::default() }).is_empty());
+        assert!(top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 0,
+                ..TopKConfig::default()
+            }
+        )
+        .is_empty());
     }
 
     #[test]
     fn k_larger_than_available_itemsets() {
         let t = tx(&[&[1], &[2]]);
-        let top = top_k_frequent(&t, &TopKConfig { k: 100, ..TopKConfig::default() });
+        let top = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 100,
+                ..TopKConfig::default()
+            },
+        );
         assert_eq!(top.len(), 2);
     }
 
@@ -187,5 +297,37 @@ mod tests {
     #[test]
     fn paper_default_is_top_1000() {
         assert_eq!(TopKConfig::paper_default().k, 1000);
+    }
+
+    /// Regression test for the anti-blowup guard: a 250-term record has
+    /// ~C(250, 4) ≈ 1.6e8 subsets of length ≤ 4, so threshold-1 mining
+    /// would hang. The guard must bound the run whether the long record is
+    /// unique (degenerate threshold 1) or duplicated (its subsets all have
+    /// support 2, so a naive raise to threshold 2 is not enough).
+    #[test]
+    fn long_records_do_not_explode_top_k_mining() {
+        let long: Vec<u32> = (0..250).collect();
+        // Unique long record among short ones.
+        let mut t: Vec<Vec<u32>> = (0..50u32).map(|i| vec![i % 10, 10 + (i % 5)]).collect();
+        t.push(long.clone());
+        let top = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 1000,
+                ..TopKConfig::default()
+            },
+        );
+        assert!(!top.is_empty());
+
+        // Duplicated long record.
+        t.push(long);
+        let top = top_k_frequent(
+            &t,
+            &TopKConfig {
+                k: 1000,
+                ..TopKConfig::default()
+            },
+        );
+        assert!(!top.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! # hierarchy — generalization taxonomies over term domains
 //!
 //! Generalization-based anonymization (the Apriori baseline of the paper,
-//! [27]) and the DiffPart baseline [6] both need a *generalization hierarchy*
+//! \[27\]) and the DiffPart baseline \[6\] both need a *generalization hierarchy*
 //! over the term domain: a tree whose leaves are the original terms and whose
 //! internal nodes are progressively coarser categories (e.g. *New York* →
 //! *North America*).  The paper's tKd-ML2 metric also mines frequent itemsets
@@ -274,7 +274,7 @@ impl<'a> GeneralizationCut<'a> {
 
     /// Generalizes the representative of `term` one level up, moving *all*
     /// leaves under the new representative with it (full-subtree recoding —
-    /// the recoding model of the Apriori algorithm [27]).
+    /// the recoding model of the Apriori algorithm \[27\]).
     ///
     /// Returns the new representative, or `None` when the term is already at
     /// the root.
@@ -437,7 +437,12 @@ impl TaxonomyBuilder {
         let mut level = vec![0u32; names.len()];
         for id in 0..names.len() {
             if !children[id].is_empty() {
-                level[id] = children[id].iter().map(|c| level[c.index()]).max().unwrap_or(0) + 1;
+                level[id] = children[id]
+                    .iter()
+                    .map(|c| level[c.index()])
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
             }
         }
         let mut tax = Taxonomy {
@@ -548,7 +553,10 @@ mod tests {
         let mut cut = GeneralizationCut::identity(&tax);
         cut.generalize_term(TermId::new(0)).unwrap();
         cut.generalize_term(TermId::new(0)).unwrap();
-        assert!(cut.generalize_term(TermId::new(0)).is_none(), "already at root");
+        assert!(
+            cut.generalize_term(TermId::new(0)).is_none(),
+            "already at root"
+        );
         // Generalizing to the root pulls every leaf with it in a 1-level-deep
         // sibling group of the root... only leaves under root move: all.
         assert!(cut.is_fully_generalized());
@@ -595,7 +603,10 @@ mod tests {
     fn builder_rejects_unknown_parent() {
         let mut b = TaxonomyBuilder::new();
         b.leaf("a", "missing_parent");
-        assert!(b.build("missing_parent").is_ok(), "parent that is the root is fine");
+        assert!(
+            b.build("missing_parent").is_ok(),
+            "parent that is the root is fine"
+        );
         let mut b2 = TaxonomyBuilder::new();
         b2.leaf("a", "ghost").internal("other", "root2");
         assert!(b2.build("root2").is_err());

@@ -28,8 +28,8 @@ pub mod tlost;
 
 pub use loss_report::{InformationLoss, LossConfig};
 pub use re::{
-    pair_window, relative_error, relative_error_chunks, relative_error_datasets,
-    relative_error_averaged,
+    pair_window, relative_error, relative_error_averaged, relative_error_chunks,
+    relative_error_datasets,
 };
 pub use tkd::{tkd_chunks, tkd_datasets, tkd_itemsets, tkd_ml2, TkdConfig};
 pub use tlost::tlost;

@@ -37,7 +37,9 @@ pub fn pair_window(original: &Dataset, range: std::ops::Range<usize>) -> Vec<Ter
 pub fn relative_error_datasets(original: &Dataset, anonymized: &Dataset, terms: &[TermId]) -> f64 {
     let so = PairSupports::from_records(original.records(), Some(terms));
     let sp = PairSupports::from_records(anonymized.records(), Some(terms));
-    average_over_pairs(terms, |a, b| relative_error(so.support(a, b), sp.support(a, b)))
+    average_over_pairs(terms, |a, b| {
+        relative_error(so.support(a, b), sp.support(a, b))
+    })
 }
 
 /// Average relative error where the anonymized supports are averaged over
@@ -56,8 +58,8 @@ pub fn relative_error_averaged(
         .map(|d| PairSupports::from_records(d.records(), Some(terms)))
         .collect();
     average_over_pairs(terms, |a, b| {
-        let avg_sp: f64 = sps.iter().map(|sp| sp.support(a, b) as f64).sum::<f64>()
-            / sps.len() as f64;
+        let avg_sp: f64 =
+            sps.iter().map(|sp| sp.support(a, b) as f64).sum::<f64>() / sps.len() as f64;
         let so_ab = so.support(a, b) as f64;
         if so_ab == 0.0 && avg_sp == 0.0 {
             0.0
@@ -77,7 +79,9 @@ pub fn relative_error_chunks(
     let so = PairSupports::from_records(original.records(), Some(terms));
     let chunk_records: Vec<Record> = published.chunk_subrecords();
     let sp = PairSupports::from_records(&chunk_records, Some(terms));
-    average_over_pairs(terms, |a, b| relative_error(so.support(a, b), sp.support(a, b)))
+    average_over_pairs(terms, |a, b| {
+        relative_error(so.support(a, b), sp.support(a, b))
+    })
 }
 
 fn average_over_pairs<F: Fn(TermId, TermId) -> f64>(terms: &[TermId], f: F) -> f64 {
@@ -113,7 +117,11 @@ mod tests {
     fn relative_error_basic_values() {
         assert_eq!(relative_error(10, 10), 0.0);
         assert_eq!(relative_error(0, 0), 0.0);
-        assert_eq!(relative_error(10, 0), 2.0, "maximum value of the normalized metric");
+        assert_eq!(
+            relative_error(10, 0),
+            2.0,
+            "maximum value of the normalized metric"
+        );
         assert_eq!(relative_error(0, 10), 2.0);
         assert!((relative_error(10, 5) - (5.0 / 7.5)).abs() < 1e-12);
     }

@@ -24,15 +24,39 @@ impl Default for TkdConfig {
 }
 
 impl TkdConfig {
+    /// Support floor handed to the miner, as a fraction of the number of
+    /// *original* transactions.
+    ///
+    /// When a dataset has fewer than `top_k` distinct terms, the top-K
+    /// threshold derivation degenerates to an absolute support of 1 and
+    /// threshold mining would enumerate *every* itemset — up to
+    /// `C(max_record_len, max_len)` subsets of the longest record, which is
+    /// ~10^8 for the WV1/WV2-shaped workloads. The floor keeps the mining
+    /// bounded; on the paper-scale datasets the 1000th itemset's support is
+    /// far above 0.1%, so the reported tKd values are unaffected.
+    ///
+    /// The floor is resolved to an **absolute** support from the original
+    /// side's transaction count and applied identically to both sides of a
+    /// comparison: the anonymized side (chunk subrecords, reconstructions)
+    /// usually has a different record count, and a per-side relative floor
+    /// would suppress itemsets on one side only, inflating tKd.
+    pub const MIN_RELATIVE_SUPPORT: f64 = 0.001;
+
     /// The paper's setting: top-1000 frequent itemsets.
     pub fn paper_default() -> Self {
         Self::default()
     }
 
-    fn miner_config(&self) -> TopKConfig {
+    /// Miner configuration with the support floor resolved against the
+    /// original dataset's `reference_len` (see
+    /// [`MIN_RELATIVE_SUPPORT`](Self::MIN_RELATIVE_SUPPORT)).
+    fn miner_config(&self, reference_len: usize) -> TopKConfig {
         TopKConfig {
             k: self.top_k,
             max_len: self.max_len,
+            min_absolute_support: Some(
+                ((reference_len as f64) * Self::MIN_RELATIVE_SUPPORT).ceil() as u64,
+            ),
             ..TopKConfig::default()
         }
     }
@@ -56,14 +80,9 @@ pub fn tkd_itemsets(original: &[FrequentItemset], anonymized: &[FrequentItemset]
 /// reconstruction, a DiffPart output, or any other dataset of original
 /// terms).
 pub fn tkd_datasets(original: &Dataset, anonymized: &Dataset, config: &TkdConfig) -> f64 {
-    let fi_original = top_k_frequent(
-        &records_to_transactions(original.records()),
-        &config.miner_config(),
-    );
-    let fi_anonymized = top_k_frequent(
-        &records_to_transactions(anonymized.records()),
-        &config.miner_config(),
-    );
+    let miner = config.miner_config(original.len());
+    let fi_original = top_k_frequent(&records_to_transactions(original.records()), &miner);
+    let fi_anonymized = top_k_frequent(&records_to_transactions(anonymized.records()), &miner);
     tkd_itemsets(&fi_original, &fi_anonymized)
 }
 
@@ -76,14 +95,9 @@ pub fn tkd_chunks(
     config: &TkdConfig,
 ) -> f64 {
     let chunk_records: Vec<Record> = published.chunk_subrecords();
-    let fi_original = top_k_frequent(
-        &records_to_transactions(original.records()),
-        &config.miner_config(),
-    );
-    let fi_chunks = top_k_frequent(
-        &records_to_transactions(&chunk_records),
-        &config.miner_config(),
-    );
+    let miner = config.miner_config(original.len());
+    let fi_original = top_k_frequent(&records_to_transactions(original.records()), &miner);
+    let fi_chunks = top_k_frequent(&records_to_transactions(&chunk_records), &miner);
     tkd_itemsets(&fi_original, &fi_chunks)
 }
 
@@ -130,14 +144,13 @@ pub fn tkd_ml2(
         .collect();
     let mut total = 0.0;
     let mut levels = 0usize;
+    let miner = config.miner_config(original.len());
     for level in 0..height {
-        let fi_original =
-            top_k_frequent(&project(&original_leaf, level), &config.miner_config());
+        let fi_original = top_k_frequent(&project(&original_leaf, level), &miner);
         if fi_original.is_empty() {
             continue;
         }
-        let fi_anonymized =
-            top_k_frequent(&project(anonymized_generalized, level), &config.miner_config());
+        let fi_anonymized = top_k_frequent(&project(anonymized_generalized, level), &miner);
         total += tkd_itemsets(&fi_original, &fi_anonymized);
         levels += 1;
     }

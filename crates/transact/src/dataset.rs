@@ -177,7 +177,15 @@ mod tests {
     fn len_domain_and_supports() {
         let d = sample();
         assert_eq!(d.len(), 4);
-        assert_eq!(d.domain(), vec![TermId::new(0), TermId::new(1), TermId::new(2), TermId::new(3)]);
+        assert_eq!(
+            d.domain(),
+            vec![
+                TermId::new(0),
+                TermId::new(1),
+                TermId::new(2),
+                TermId::new(3)
+            ]
+        );
         assert_eq!(d.domain_size(), 4);
         assert_eq!(d.term_support(TermId::new(2)), 3);
         assert_eq!(d.term_support(TermId::new(9)), 0);
@@ -188,7 +196,11 @@ mod tests {
         let d = sample();
         assert_eq!(d.itemset_support(&[TermId::new(1), TermId::new(2)]), 2);
         assert_eq!(d.itemset_support(&[TermId::new(0), TermId::new(3)]), 0);
-        assert_eq!(d.itemset_support(&[]), 4, "empty itemset contained everywhere");
+        assert_eq!(
+            d.itemset_support(&[]),
+            4,
+            "empty itemset contained everywhere"
+        );
     }
 
     #[test]
@@ -207,7 +219,11 @@ mod tests {
         let d = sample();
         let dom = [TermId::new(1), TermId::new(2)];
         let proj = d.project_sorted(&dom);
-        assert_eq!(proj.len(), d.len(), "one subrecord per record, empties included");
+        assert_eq!(
+            proj.len(),
+            d.len(),
+            "one subrecord per record, empties included"
+        );
         assert!(proj[3].is_empty());
     }
 

@@ -122,7 +122,11 @@ pub fn for_each_subset_containing<F: FnMut(&[TermId])>(
     if max_size == 0 {
         return;
     }
-    let rest: Vec<TermId> = items.iter().copied().filter(|&t| t != must_contain).collect();
+    let rest: Vec<TermId> = items
+        .iter()
+        .copied()
+        .filter(|&t| t != must_contain)
+        .collect();
     // The distinguished term alone.
     let mut stack: Vec<TermId> = vec![must_contain];
     f(&stack);
@@ -207,7 +211,10 @@ mod tests {
     #[test]
     fn extended_with_appends() {
         let a = Itemset::new(ids(&[1, 2]));
-        assert_eq!(a.extended_with(TermId::new(5)), Itemset::new(ids(&[1, 2, 5])));
+        assert_eq!(
+            a.extended_with(TermId::new(5)),
+            Itemset::new(ids(&[1, 2, 5]))
+        );
     }
 
     #[test]

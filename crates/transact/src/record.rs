@@ -31,7 +31,10 @@ impl Record {
     }
 
     /// Builds a record from term strings, interning them in `dict`.
-    pub fn from_terms<'a, I: IntoIterator<Item = &'a str>>(dict: &mut Dictionary, terms: I) -> Self {
+    pub fn from_terms<'a, I: IntoIterator<Item = &'a str>>(
+        dict: &mut Dictionary,
+        terms: I,
+    ) -> Self {
         Record::from_ids(terms.into_iter().map(|t| dict.intern(t)))
     }
 
@@ -93,7 +96,10 @@ impl Record {
     /// This is the core operation of vertical partitioning (`Ci = {{ Ti ∩ r }}`,
     /// Section 3 of the paper).
     pub fn project_sorted(&self, domain: &[TermId]) -> Record {
-        debug_assert!(domain.windows(2).all(|w| w[0] < w[1]), "domain must be sorted+dedup");
+        debug_assert!(
+            domain.windows(2).all(|w| w[0] < w[1]),
+            "domain must be sorted+dedup"
+        );
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.terms.len() && j < domain.len() {
@@ -214,7 +220,10 @@ mod tests {
     #[test]
     fn from_ids_sorts_and_dedups() {
         let rec = r(&[3, 1, 3, 2, 1]);
-        assert_eq!(rec.terms(), &[TermId::new(1), TermId::new(2), TermId::new(3)]);
+        assert_eq!(
+            rec.terms(),
+            &[TermId::new(1), TermId::new(2), TermId::new(3)]
+        );
     }
 
     #[test]
@@ -240,7 +249,10 @@ mod tests {
         let mut rec = r(&[2, 8]);
         assert!(rec.insert(TermId::new(5)));
         assert!(!rec.insert(TermId::new(5)));
-        assert_eq!(rec.terms(), &[TermId::new(2), TermId::new(5), TermId::new(8)]);
+        assert_eq!(
+            rec.terms(),
+            &[TermId::new(2), TermId::new(5), TermId::new(8)]
+        );
         assert!(rec.remove(TermId::new(2)));
         assert!(!rec.remove(TermId::new(2)));
         assert_eq!(rec.terms(), &[TermId::new(5), TermId::new(8)]);

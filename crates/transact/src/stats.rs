@@ -43,7 +43,11 @@ impl DatasetStats {
         sups.sort_unstable();
         let domain_size = sups.len();
         let max_term_support = sups.last().copied().unwrap_or(0);
-        let median_term_support = if sups.is_empty() { 0 } else { sups[sups.len() / 2] };
+        let median_term_support = if sups.is_empty() {
+            0
+        } else {
+            sups[sups.len() / 2]
+        };
         let rare = sups.iter().filter(|&&s| s < 5).count();
         DatasetStats {
             num_records: dataset.len(),
@@ -75,7 +79,10 @@ impl DatasetStats {
 ///
 /// The paper's relative-error metric is computed over the pairs formed by a
 /// small frequency window (e.g. the 200th–220th most frequent terms).
-pub fn terms_in_frequency_range(supports: &SupportMap, range: std::ops::Range<usize>) -> Vec<TermId> {
+pub fn terms_in_frequency_range(
+    supports: &SupportMap,
+    range: std::ops::Range<usize>,
+) -> Vec<TermId> {
     let ordered = supports.terms_by_descending_support();
     ordered
         .into_iter()

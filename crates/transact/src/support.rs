@@ -88,7 +88,10 @@ impl SupportMap {
     /// The term with the maximum support among `candidates` (deterministic
     /// tie-break by ascending id).  Returns `None` when all candidates have
     /// zero support or the list is empty.
-    pub fn most_frequent_among(&self, candidates: impl IntoIterator<Item = TermId>) -> Option<TermId> {
+    pub fn most_frequent_among(
+        &self,
+        candidates: impl IntoIterator<Item = TermId>,
+    ) -> Option<TermId> {
         let mut best: Option<(TermId, u64)> = None;
         for t in candidates {
             let s = self.support(t);
@@ -196,14 +199,14 @@ impl ItemsetSupports {
     /// This is exactly the universe of adversary knowledge the k^m guarantee
     /// quantifies over, so it is used both by the anonymity checker and by the
     /// brute-force reference implementations in the test-suite.
-    pub fn count_all_subsets<'a, I: IntoIterator<Item = &'a Record>>(records: I, max_size: usize) -> Self {
+    pub fn count_all_subsets<'a, I: IntoIterator<Item = &'a Record>>(
+        records: I,
+        max_size: usize,
+    ) -> Self {
         let mut table = ItemsetSupports::new();
         for r in records {
             crate::itemset::for_each_subset_up_to(r.terms(), max_size, |subset| {
-                *table
-                    .counts
-                    .entry(Itemset(subset.to_vec()))
-                    .or_insert(0) += 1;
+                *table.counts.entry(Itemset(subset.to_vec())).or_insert(0) += 1;
             });
         }
         table
@@ -314,7 +317,11 @@ mod tests {
         let universe = [TermId::new(1), TermId::new(2)];
         let ps = PairSupports::from_records(&records, Some(&universe));
         assert_eq!(ps.support(TermId::new(1), TermId::new(2)), 2);
-        assert_eq!(ps.support(TermId::new(1), TermId::new(3)), 0, "3 not in universe");
+        assert_eq!(
+            ps.support(TermId::new(1), TermId::new(3)),
+            0,
+            "3 not in universe"
+        );
         assert_eq!(ps.len(), 1);
     }
 
@@ -332,7 +339,11 @@ mod tests {
             1
         );
         assert_eq!(
-            table.support(&Itemset::new([TermId::new(1), TermId::new(2), TermId::new(3)])),
+            table.support(&Itemset::new([
+                TermId::new(1),
+                TermId::new(2),
+                TermId::new(3)
+            ])),
             0,
             "size-3 subsets are beyond max_size"
         );

@@ -1,0 +1,85 @@
+//! Serialization round-trips of the dictionary/record layer.
+//!
+//! The anonymization pipeline persists datasets as JSON (the CLI writes
+//! `*.chunks.json`, the bench harness writes experiment reports), so the
+//! interning contract must survive a serde round-trip: after deserializing a
+//! [`Dictionary`], every existing id still names the same term string, and
+//! interning the same strings again yields the same ids.
+
+use transact::{Dataset, Dictionary, Record, TermId};
+
+fn sample_terms() -> Vec<&'static str> {
+    vec![
+        "itunes", "flu", "madonna", "ikea", "ruby", "audi a4", "sony tv",
+    ]
+}
+
+#[test]
+fn record_from_terms_round_trips_through_dictionary_serialization() {
+    let mut dict = Dictionary::new();
+    let records = vec![
+        Record::from_terms(&mut dict, ["itunes", "flu", "madonna"]),
+        Record::from_terms(&mut dict, ["madonna", "ikea", "ruby"]),
+        Record::from_terms(&mut dict, ["audi a4", "sony tv", "itunes"]),
+    ];
+    let dataset = Dataset::from_records(records.clone());
+
+    let dict_json = serde_json::to_string(&dict).unwrap();
+    let data_json = serde_json::to_string(&dataset).unwrap();
+
+    let mut dict2: Dictionary = serde_json::from_str(&dict_json).unwrap();
+    let dataset2: Dataset = serde_json::from_str(&data_json).unwrap();
+
+    // The records and the id→string direction survive unchanged.
+    assert_eq!(dataset2, dataset);
+    for (id, term) in dict.iter() {
+        assert_eq!(dict2.term(id), Some(term), "id {id} changed meaning");
+    }
+
+    // The string→id index is #[serde(skip)]; after rebuilding it, lookups
+    // and re-interning agree with the original dictionary.
+    dict2.rebuild_index();
+    for term in sample_terms() {
+        assert_eq!(dict2.id(term), dict.id(term), "lookup of {term:?} drifted");
+    }
+    for term in sample_terms() {
+        let before = dict.intern(term);
+        let after = dict2.intern(term);
+        assert_eq!(before, after, "re-interning {term:?} yielded a fresh id");
+    }
+    assert_eq!(
+        dict2.len(),
+        dict.len(),
+        "re-interning must not grow the dictionary"
+    );
+}
+
+#[test]
+fn interning_is_stable_across_serialization_for_new_terms_too() {
+    let mut dict = Dictionary::new();
+    for t in sample_terms() {
+        dict.intern(t);
+    }
+
+    let mut restored: Dictionary =
+        serde_json::from_str(&serde_json::to_string(&dict).unwrap()).unwrap();
+    restored.rebuild_index();
+
+    // A term never seen before gets the next dense id in both dictionaries.
+    let a = dict.intern("iphone sdk");
+    let b = restored.intern("iphone sdk");
+    assert_eq!(a, b);
+    assert_eq!(a, TermId::new(sample_terms().len() as u32));
+}
+
+#[test]
+fn rendered_records_are_identical_after_round_trip() {
+    let mut dict = Dictionary::new();
+    let record = Record::from_terms(&mut dict, ["madonna", "flu", "viagra"]);
+
+    let dict2: Dictionary = serde_json::from_str(&serde_json::to_string(&dict).unwrap()).unwrap();
+    let record2: Record = serde_json::from_str(&serde_json::to_string(&record).unwrap()).unwrap();
+
+    assert_eq!(record2, record);
+    assert_eq!(record2.render(&dict2), record.render(&dict));
+}

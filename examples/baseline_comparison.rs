@@ -33,13 +33,23 @@ fn main() {
         dataset.len(),
         dataset.domain_size()
     );
-    let taxonomy = Taxonomy::balanced(dataset.domain().last().map(|t| t.index() + 1).unwrap_or(1), 4);
-    let tkd_cfg = TkdConfig { top_k: 200, max_len: 3 };
+    let taxonomy = Taxonomy::balanced(
+        dataset.domain().last().map(|t| t.index() + 1).unwrap_or(1),
+        4,
+    );
+    let tkd_cfg = TkdConfig {
+        top_k: 200,
+        max_len: 3,
+    };
     let window = pair_window(&dataset, 20..40);
 
     // --- Disassociation -----------------------------------------------------
-    let output = Disassociator::new(DisassociationConfig { k, m, ..Default::default() })
-        .anonymize(&dataset);
+    let output = Disassociator::new(DisassociationConfig {
+        k,
+        m,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(3);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
     let dis_tkd = tkd_datasets(&dataset, &reconstruction, &tkd_cfg);
@@ -54,8 +64,15 @@ fn main() {
     let dis_ml2 = tkd_ml2(&dataset, &recon_leaf, &taxonomy, &tkd_cfg);
 
     // --- Apriori generalization --------------------------------------------
-    let apriori = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k, m, ..Default::default() })
-        .anonymize(&dataset);
+    let apriori = AprioriAnonymizer::new(
+        &taxonomy,
+        AprioriConfig {
+            k,
+            m,
+            ..Default::default()
+        },
+    )
+    .anonymize(&dataset);
     let apriori_ml2 = tkd_ml2(&dataset, &apriori.generalized_records, &taxonomy, &tkd_cfg);
 
     // --- DiffPart ------------------------------------------------------------

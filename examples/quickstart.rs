@@ -17,18 +17,43 @@ fn main() {
     let mut dict = Dictionary::new();
     let records = vec![
         Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "ikea", "ruby"]),
-        Record::from_terms(&mut dict, ["madonna", "flu", "viagra", "ruby", "audi_a4", "sony_tv"]),
-        Record::from_terms(&mut dict, ["itunes", "madonna", "audi_a4", "ikea", "sony_tv"]),
+        Record::from_terms(
+            &mut dict,
+            ["madonna", "flu", "viagra", "ruby", "audi_a4", "sony_tv"],
+        ),
+        Record::from_terms(
+            &mut dict,
+            ["itunes", "madonna", "audi_a4", "ikea", "sony_tv"],
+        ),
         Record::from_terms(&mut dict, ["itunes", "flu", "viagra"]),
-        Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "audi_a4", "sony_tv"]),
-        Record::from_terms(&mut dict, ["madonna", "digital_camera", "panic_disorder", "playboy"]),
+        Record::from_terms(
+            &mut dict,
+            ["itunes", "flu", "madonna", "audi_a4", "sony_tv"],
+        ),
+        Record::from_terms(
+            &mut dict,
+            ["madonna", "digital_camera", "panic_disorder", "playboy"],
+        ),
         Record::from_terms(&mut dict, ["iphone_sdk", "madonna", "ikea", "ruby"]),
-        Record::from_terms(&mut dict, ["iphone_sdk", "digital_camera", "madonna", "playboy"]),
-        Record::from_terms(&mut dict, ["iphone_sdk", "digital_camera", "panic_disorder"]),
-        Record::from_terms(&mut dict, ["iphone_sdk", "digital_camera", "madonna", "ikea", "ruby"]),
+        Record::from_terms(
+            &mut dict,
+            ["iphone_sdk", "digital_camera", "madonna", "playboy"],
+        ),
+        Record::from_terms(
+            &mut dict,
+            ["iphone_sdk", "digital_camera", "panic_disorder"],
+        ),
+        Record::from_terms(
+            &mut dict,
+            ["iphone_sdk", "digital_camera", "madonna", "ikea", "ruby"],
+        ),
     ];
     let dataset = Dataset::from_records(records);
-    println!("original dataset: {} records, {} distinct terms", dataset.len(), dataset.domain_size());
+    println!(
+        "original dataset: {} records, {} distinct terms",
+        dataset.len(),
+        dataset.domain_size()
+    );
 
     // Without anonymization, knowing that a user searched for both "madonna"
     // and "viagra" identifies record r2 uniquely:
@@ -55,10 +80,19 @@ fn main() {
 
     // The published form still satisfies the guarantee — verify it.
     let report = disassociation::verify::verify_structure(&output.dataset);
-    println!("\nstructural verification: {}", if report.is_ok() { "OK" } else { "FAILED" });
-    let attack = disassociation::verify::verify_attack(&dataset, &output.dataset, &output.cluster_assignment);
-    println!("adversary simulation (any 2 known terms ⇒ ≥ 3 candidates): {}",
-        if attack.is_ok() { "OK" } else { "FAILED" });
+    println!(
+        "\nstructural verification: {}",
+        if report.is_ok() { "OK" } else { "FAILED" }
+    );
+    let attack = disassociation::verify::verify_attack(
+        &dataset,
+        &output.dataset,
+        &output.cluster_assignment,
+    );
+    println!(
+        "adversary simulation (any 2 known terms ⇒ ≥ 3 candidates): {}",
+        if attack.is_ok() { "OK" } else { "FAILED" }
+    );
 
     // Analysts work on reconstructions: sample one and compare a support.
     let mut rng = StdRng::seed_from_u64(1);

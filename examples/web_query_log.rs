@@ -58,7 +58,10 @@ fn main() {
 
     // Identity disclosure: verified structurally.
     let report = disassociation::verify::verify_structure(&output.dataset);
-    println!("k^m-anonymity verification: {}", if report.is_ok() { "OK" } else { "FAILED" });
+    println!(
+        "k^m-anonymity verification: {}",
+        if report.is_ok() { "OK" } else { "FAILED" }
+    );
 
     // Attribute disclosure: sensitive terms are isolated in term chunks and
     // each is diluted over at least `l` records.

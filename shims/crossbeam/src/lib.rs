@@ -1,0 +1,65 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the subset used by this workspace is provided: [`scope`] and
+//! [`Scope::spawn`], where the spawned closure receives the scope again so
+//! that workers could spawn nested work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// The error half of [`thread::Result`](std::thread::Result): a boxed panic
+/// payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`] and to every spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope, mirroring
+    /// `crossbeam::thread::Scope::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which threads borrowing the environment can be
+/// spawned; all of them are joined before `scope` returns.
+///
+/// Unlike `crossbeam`, a panicking child panics the scope directly (via
+/// `std::thread::scope`), so the `Err` variant is never produced — callers
+/// using `.expect(..)` behave identically.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0u64);
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    let s: u64 = chunk.iter().sum();
+                    *sums.lock().unwrap() += s;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sums.into_inner().unwrap(), 10);
+    }
+}

@@ -1,0 +1,479 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes used in this workspace — named-field structs, tuple structs and
+//! enums (unit, newtype, tuple and struct variants) — without depending on
+//! `syn`/`quote` (the build environment is offline). The only recognized
+//! field attributes are `#[serde(skip)]` and `#[serde(default)]`; anything
+//! else is a compile error so that silent divergence from upstream serde
+//! semantics cannot creep in.
+//!
+//! Serialized forms mirror upstream serde's JSON conventions: structs become
+//! objects, newtype structs are transparent, unit enum variants become
+//! strings, and data-carrying variants become externally tagged
+//! single-field objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed derive input.
+struct Input {
+    name: String,
+    kind: InputKind,
+}
+
+enum InputKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Attribute flags recognized on fields.
+#[derive(Default)]
+struct AttrFlags {
+    skip: bool,
+    default: bool,
+}
+
+/// Consumes leading attributes (`#[...]`) from `tokens[*pos]`, returning the
+/// accumulated `#[serde(...)]` flags.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        let TokenTree::Group(group) = &tokens[*pos + 1] else {
+            break;
+        };
+        if group.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(head)) = inner.first() {
+            if head.to_string() == "serde" {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    panic!("malformed #[serde] attribute");
+                };
+                for arg in args.stream() {
+                    match arg {
+                        TokenTree::Ident(flag) => match flag.to_string().as_str() {
+                            "skip" => flags.skip = true,
+                            "default" => flags.default = true,
+                            other => panic!(
+                                "unsupported #[serde({other})] attribute (the vendored serde \
+                                 shim only understands `skip` and `default`)"
+                            ),
+                        },
+                        TokenTree::Punct(p) if p.as_char() == ',' => {}
+                        other => panic!("unsupported #[serde] argument: {other}"),
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    flags
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if *pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas. Angle brackets are plain
+/// punctuation in token streams, so generic arguments (`HashMap<K, V>`) are
+/// tracked by `<`/`>` depth; `->` never appears in the field types of this
+/// workspace.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if angle_depth == 0 && matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+            if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+        } else {
+            current.push(tt);
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses the fields of a named-field body `{ ... }`.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    split_commas(body.into_iter().collect())
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            let flags = take_attrs(&chunk, &mut pos);
+            skip_visibility(&chunk, &mut pos);
+            let TokenTree::Ident(name) = &chunk[pos] else {
+                panic!("expected field name, found {:?}", chunk[pos].to_string());
+            };
+            Field {
+                name: name.to_string(),
+                skip: flags.skip,
+                default: flags.default,
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple body `( ... )`; `#[serde]` attributes on
+/// tuple fields are not supported.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    split_commas(body.into_iter().collect()).len()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let _ = take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde shim cannot derive for generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: InputKind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                kind: InputKind::TupleStruct(parse_tuple_arity(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                kind: InputKind::UnitStruct,
+            },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(pos) else {
+                panic!("expected enum body");
+            };
+            let variants = split_commas(g.stream().into_iter().collect())
+                .into_iter()
+                .map(|chunk| {
+                    let mut vpos = 0;
+                    let _ = take_attrs(&chunk, &mut vpos);
+                    let TokenTree::Ident(vname) = &chunk[vpos] else {
+                        panic!("expected variant name");
+                    };
+                    let kind = match chunk.get(vpos + 1) {
+                        None => VariantKind::Unit,
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            VariantKind::Tuple(parse_tuple_arity(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantKind::Struct(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            // Discriminant (`Variant = 3`): treat as unit.
+                            VariantKind::Unit
+                        }
+                        other => panic!("unsupported variant body: {other:?}"),
+                    };
+                    Variant {
+                        name: vname.to_string(),
+                        kind,
+                    }
+                })
+                .collect();
+            Input {
+                name,
+                kind: InputKind::Enum(variants),
+            }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        InputKind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        InputKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        InputKind::UnitStruct => "::serde::Value::Null".to_string(),
+        InputKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_named_field_inits(fields: &[Field], obj_expr: &str, type_name: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.skip {
+                format!("{n}: ::core::default::Default::default(),")
+            } else if f.default {
+                format!(
+                    "{n}: match {obj_expr}.get(\"{n}\") {{\n\
+                         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                         None => ::core::default::Default::default(),\n\
+                     }},"
+                )
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::from_value({obj_expr}.get(\"{n}\").ok_or_else(|| \
+                     ::serde::Error::custom(\"missing field `{n}` of `{type_name}`\"))?)?,"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        InputKind::NamedStruct(fields) => {
+            let inits = gen_named_field_inits(fields, "__v", name);
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                     return Err(::serde::Error::custom(\"expected object for `{name}`\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        InputKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        InputKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(\"wrong arity for `{name}`\"));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        InputKind::UnitStruct => format!("Ok({name})"),
+        InputKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __items = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload for `{name}::{vn}`\"))?;\n\
+                                     if __items.len() != {n} {{\n\
+                                         return Err(::serde::Error::custom(\"wrong arity for `{name}::{vn}`\"));\n\
+                                     }}\n\
+                                     return Ok({name}::{vn}({items}));\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits = gen_named_field_inits(fields, "__payload", name);
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     return Ok({name}::{vn} {{\n{inits}\n}});\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         _ => {{}}\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                     }}\n\
+                     _ => {{}}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(\"unknown variant of `{name}`\"))",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -22,7 +22,10 @@ fn quest(records: usize, domain: usize, seed: u64) -> Dataset {
 
 fn loss_config() -> LossConfig {
     LossConfig {
-        tkd: TkdConfig { top_k: 100, max_len: 3 },
+        tkd: TkdConfig {
+            top_k: 100,
+            max_len: 3,
+        },
         re_window: 10..30,
         ..Default::default()
     }
@@ -79,7 +82,10 @@ fn information_loss_is_moderate_on_a_friendly_workload() {
     })
     .anonymize(&dataset);
     let loss = InformationLoss::evaluate(&dataset, &output, &loss_config());
-    assert!(loss.tkd <= 0.5, "top-K deviation unexpectedly high: {loss:?}");
+    assert!(
+        loss.tkd <= 0.5,
+        "top-K deviation unexpectedly high: {loss:?}"
+    );
     assert!(loss.tlost <= 0.5, "too many frequent terms lost: {loss:?}");
     assert!(loss.re <= 1.5, "pair supports destroyed: {loss:?}");
 }

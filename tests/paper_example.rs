@@ -3,9 +3,7 @@
 //! worked example and satisfy every property claimed for it.
 
 use disassociation::verify::{verify_attack, verify_structure};
-use disassociation::{
-    reconstruct, ClusterNode, DisassociationConfig, Disassociator,
-};
+use disassociation::{reconstruct, ClusterNode, DisassociationConfig, Disassociator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transact::{Dataset, Dictionary, Record, TermId};
@@ -15,7 +13,10 @@ fn figure2_dataset() -> (Dataset, Dictionary) {
     let mut dict = Dictionary::new();
     let records = vec![
         Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "ikea", "ruby"]),
-        Record::from_terms(&mut dict, ["madonna", "flu", "viagra", "ruby", "audi", "sony"]),
+        Record::from_terms(
+            &mut dict,
+            ["madonna", "flu", "viagra", "ruby", "audi", "sony"],
+        ),
         Record::from_terms(&mut dict, ["itunes", "madonna", "audi", "ikea", "sony"]),
         Record::from_terms(&mut dict, ["itunes", "flu", "viagra"]),
         Record::from_terms(&mut dict, ["itunes", "flu", "madonna", "audi", "sony"]),
@@ -74,7 +75,10 @@ fn every_original_query_term_is_published_somewhere() {
     let (dataset, _dict, output) = paper_output();
     let published = output.dataset.all_terms();
     for t in dataset.domain() {
-        assert!(published.contains(&t), "term {t} missing from the publication");
+        assert!(
+            published.contains(&t),
+            "term {t} missing from the publication"
+        );
     }
     assert_eq!(published.len(), dataset.domain_size());
 }
@@ -174,12 +178,7 @@ fn reconstructions_have_the_original_size_and_preserve_chunk_supports() {
 #[test]
 fn published_cluster_sizes_are_explicit_and_sum_to_the_dataset_size() {
     let (dataset, _dict, output) = paper_output();
-    let total: usize = output
-        .dataset
-        .clusters
-        .iter()
-        .map(ClusterNode::size)
-        .sum();
+    let total: usize = output.dataset.clusters.iter().map(ClusterNode::size).sum();
     assert_eq!(total, dataset.len());
     for cluster in output.dataset.simple_clusters() {
         assert!(cluster.size >= 3, "clusters must have at least k records");

@@ -27,12 +27,20 @@ fn workload() -> Dataset {
 }
 
 fn taxonomy_for(dataset: &Dataset) -> Taxonomy {
-    let leaves = dataset.domain().last().map(|t| t.index() + 1).unwrap_or(2).max(2);
+    let leaves = dataset
+        .domain()
+        .last()
+        .map(|t| t.index() + 1)
+        .unwrap_or(2)
+        .max(2);
     Taxonomy::balanced(leaves, 4)
 }
 
 fn tkd_config() -> TkdConfig {
-    TkdConfig { top_k: 150, max_len: 3 }
+    TkdConfig {
+        top_k: 150,
+        max_len: 3,
+    }
 }
 
 #[test]
@@ -41,8 +49,12 @@ fn all_three_methods_satisfy_their_own_guarantee() {
     let taxonomy = taxonomy_for(&dataset);
 
     // Disassociation: k^m-anonymity, verified structurally and by attack.
-    let output = Disassociator::new(DisassociationConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
+    let output = Disassociator::new(DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
     assert!(disassociation::verify::verify_structure(&output.dataset).is_ok());
     assert!(disassociation::verify::verify_attack(
         &dataset,
@@ -52,9 +64,20 @@ fn all_three_methods_satisfy_their_own_guarantee() {
     .is_ok());
 
     // Apriori: the generalized records must be k^m-anonymous.
-    let apriori = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
-    assert!(is_generalized_km_anonymous(&apriori.generalized_records, K, M));
+    let apriori = AprioriAnonymizer::new(
+        &taxonomy,
+        AprioriConfig {
+            k: K,
+            m: M,
+            ..Default::default()
+        },
+    )
+    .anonymize(&dataset);
+    assert!(is_generalized_km_anonymous(
+        &apriori.generalized_records,
+        K,
+        M
+    ));
     assert_eq!(apriori.generalized_records.len(), dataset.len());
 
     // DiffPart: every published itemset's noisy count is at least 1 and rare
@@ -70,8 +93,12 @@ fn disassociation_preserves_top_itemsets_better_than_diffpart() {
     let taxonomy = taxonomy_for(&dataset);
     let cfg = tkd_config();
 
-    let output = Disassociator::new(DisassociationConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
+    let output = Disassociator::new(DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(1);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
     let dis = tkd_datasets(&dataset, &reconstruction, &cfg);
@@ -94,8 +121,12 @@ fn disassociation_preserves_generalized_itemsets_better_than_apriori() {
     let taxonomy = taxonomy_for(&dataset);
     let cfg = tkd_config();
 
-    let output = Disassociator::new(DisassociationConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
+    let output = Disassociator::new(DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(2);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
     let recon_leaf: Vec<Vec<u32>> = reconstruction
@@ -105,8 +136,15 @@ fn disassociation_preserves_generalized_itemsets_better_than_apriori() {
         .collect();
     let dis = tkd_ml2(&dataset, &recon_leaf, &taxonomy, &cfg);
 
-    let apriori = AprioriAnonymizer::new(&taxonomy, AprioriConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
+    let apriori = AprioriAnonymizer::new(
+        &taxonomy,
+        AprioriConfig {
+            k: K,
+            m: M,
+            ..Default::default()
+        },
+    )
+    .anonymize(&dataset);
     let ap = tkd_ml2(&dataset, &apriori.generalized_records, &taxonomy, &cfg);
 
     // Figure 11b: disassociation wins because it never coarsens a term.
@@ -122,8 +160,12 @@ fn disassociation_pair_supports_beat_diffpart() {
     let taxonomy = taxonomy_for(&dataset);
     let window = pair_window(&dataset, 0..20);
 
-    let output = Disassociator::new(DisassociationConfig { k: K, m: M, ..Default::default() })
-        .anonymize(&dataset);
+    let output = Disassociator::new(DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    })
+    .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(3);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
     let dis = relative_error_datasets(&dataset, &reconstruction, &window);
@@ -133,7 +175,10 @@ fn disassociation_pair_supports_beat_diffpart() {
 
     // Figure 11c: the paper reports re > 1 for both baselines and ≤ 0.18 for
     // disassociation; require the ordering plus a sane absolute bound.
-    assert!(dis < dp, "disassociation re ({dis:.3}) should beat DiffPart ({dp:.3})");
+    assert!(
+        dis < dp,
+        "disassociation re ({dis:.3}) should beat DiffPart ({dp:.3})"
+    );
     assert!(dis < 1.0, "disassociation re too high: {dis:.3}");
 }
 
@@ -153,7 +198,11 @@ fn apriori_loses_more_as_the_taxonomy_gets_flatter() {
     });
     let fine = Taxonomy::balanced(256, 2);
     let coarse = Taxonomy::balanced(256, 16);
-    let cfg = AprioriConfig { k: 8, m: 2, ..Default::default() };
+    let cfg = AprioriConfig {
+        k: 8,
+        m: 2,
+        ..Default::default()
+    };
     let fine_result = AprioriAnonymizer::new(&fine, cfg.clone()).anonymize(&dataset);
     let coarse_result = AprioriAnonymizer::new(&coarse, cfg).anonymize(&dataset);
     let fine_fraction = fine_result.average_level / fine.height().max(1) as f64;
@@ -162,8 +211,16 @@ fn apriori_loses_more_as_the_taxonomy_gets_flatter() {
         coarse_fraction + 1e-9 >= fine_fraction - 0.35,
         "unexpected ordering: coarse {coarse_fraction:.3} vs fine {fine_fraction:.3}"
     );
-    assert!(is_generalized_km_anonymous(&fine_result.generalized_records, 8, 2));
-    assert!(is_generalized_km_anonymous(&coarse_result.generalized_records, 8, 2));
+    assert!(is_generalized_km_anonymous(
+        &fine_result.generalized_records,
+        8,
+        2
+    ));
+    assert!(is_generalized_km_anonymous(
+        &coarse_result.generalized_records,
+        8,
+        2
+    ));
 }
 
 #[test]
@@ -176,7 +233,10 @@ fn diffpart_budget_sweep_trades_privacy_for_utility() {
     for epsilon in [0.25f64, 1.0, 4.0] {
         let result = DiffPart::new(
             &taxonomy,
-            DiffPartConfig { epsilon, ..Default::default() },
+            DiffPartConfig {
+                epsilon,
+                ..Default::default()
+            },
         )
         .sanitize(&dataset);
         let tkd = tkd_datasets(&dataset, &result.dataset, &cfg);
@@ -185,5 +245,8 @@ fn diffpart_budget_sweep_trades_privacy_for_utility() {
         }
         last_tkd = tkd;
     }
-    assert!(improved, "a 16× larger budget should improve utility at least once");
+    assert!(
+        improved,
+        "a 16× larger budget should improve utility at least once"
+    );
 }
