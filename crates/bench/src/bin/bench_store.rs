@@ -1,0 +1,12 @@
+//! Storage-layer throughput workload (see `disassoc_bench::store_bench`):
+//! ingest MB/s, scan records/s and compaction amplification of the
+//! `disassoc-store` persistence layer, written to
+//! `experiments/out/BENCH_store.json`.
+//!
+//! Usage: `cargo run --release -p disassoc-bench --bin bench_store [--scale N]`
+//! (N divides the 1M-record Quest workload; default 20).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(20);
+    disassoc_bench::store_bench::bench_store(scale).finish();
+}

@@ -7,9 +7,16 @@
 
 use disassoc_bench::figures;
 
+/// An experiment entry: report id, runner, default scale divisor.
+type Run = (
+    &'static str,
+    fn(usize) -> disassoc_bench::ExperimentReport,
+    usize,
+);
+
 fn main() {
     let extra = disassoc_bench::parse_scale_arg(1);
-    let runs: Vec<(&str, fn(usize) -> disassoc_bench::ExperimentReport, usize)> = vec![
+    let runs: Vec<Run> = vec![
         ("fig06", figures::fig06, 20),
         ("fig07a", figures::fig07a, 20),
         ("fig07b", figures::fig07b, 20),
@@ -25,6 +32,7 @@ fn main() {
         ("fig11a", figures::fig11a, 40),
         ("fig11b", figures::fig11b, 40),
         ("fig11c", figures::fig11c, 40),
+        ("BENCH_store", disassoc_bench::store_bench::bench_store, 20),
     ];
     for (name, fun, default_scale) in runs {
         let scale = default_scale.saturating_mul(extra).max(1);

@@ -16,6 +16,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod store_bench;
 pub mod workloads;
 
 pub use experiment::{parse_scale_arg, ExperimentReport, Series};

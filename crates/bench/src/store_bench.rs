@@ -1,0 +1,120 @@
+//! Storage-layer throughput workload (`BENCH_store`): ingest, scan and
+//! compaction of the `disassoc-store` persistence layer, so the perf
+//! trajectory tracks the storage layer alongside the figure experiments.
+
+use crate::experiment::{ExperimentReport, Series};
+use crate::workloads::quest_scaled;
+use disassoc_store::{Store, StoreConfig};
+use std::time::Instant;
+use transact::io::RecordReader;
+
+/// Runs the storage throughput workload at `1/scale` of the paper's 1M-record
+/// Quest default and reports ingest MB/s, scan records/s and compaction
+/// amplification (the `BENCH_store.json` report).
+pub fn bench_store(scale: usize) -> ExperimentReport {
+    let scale = scale.max(1);
+    let records = (1_000_000 / scale).max(1_000);
+    let workload = quest_scaled(records, 5_000, 10.0, 77);
+    let mut report = ExperimentReport::new(
+        "BENCH_store",
+        "disassoc-store ingest/scan/compaction throughput",
+        &format!("quest {records} records, memtable 4096, batch 1024"),
+        scale,
+    );
+
+    let dir = std::env::temp_dir().join("disassoc_bench_store");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("data.dat");
+    transact::io::write_numeric_transactions_path(&workload.dataset, &file)
+        .expect("writing the workload file");
+    let input_bytes = std::fs::metadata(&file).unwrap().len();
+
+    // Ingest: stream the file through the WAL/memtable write path.
+    let mut store = Store::open(
+        dir.join("store"),
+        StoreConfig {
+            memtable_capacity: 4096,
+            ..StoreConfig::default()
+        },
+    )
+    .expect("opening the store");
+    let started = Instant::now();
+    let mut reader = RecordReader::open(&file).expect("opening the workload file");
+    loop {
+        let batch = reader.next_batch(1024).expect("reading the workload file");
+        if batch.is_empty() {
+            break;
+        }
+        store.append_batch(&batch).expect("appending to the store");
+    }
+    store.flush().expect("sealing the store");
+    let ingest_secs = started.elapsed().as_secs_f64();
+    let info = store.info().expect("reading store info");
+
+    let mut ingest = Series::new("ingest");
+    ingest.push("MB_per_s", mb(input_bytes) / ingest_secs.max(1e-9));
+    ingest.push("records_per_s", records as f64 / ingest_secs.max(1e-9));
+    ingest.push("segments", info.segments.len() as f64);
+    ingest.push("segment_MB", mb(info.segment_bytes()));
+    report.add_series(ingest);
+
+    // Scan: chunked read of every record.
+    let started = Instant::now();
+    let mut scanned = 0u64;
+    for batch in store.scan(1024) {
+        scanned += batch.expect("scanning the store").len() as u64;
+    }
+    let scan_secs = started.elapsed().as_secs_f64();
+    assert_eq!(scanned, records as u64);
+    let mut scan = Series::new("scan");
+    scan.push("records_per_s", scanned as f64 / scan_secs.max(1e-9));
+    scan.push("MB_per_s", mb(info.segment_bytes()) / scan_secs.max(1e-9));
+    report.add_series(scan);
+
+    // Compaction: merge the spill-sized segments, record the write cost.
+    let started = Instant::now();
+    let stats = store.compact().expect("compacting the store");
+    let compact_secs = started.elapsed().as_secs_f64();
+    let mut compaction = Series::new("compaction");
+    compaction.push("amplification", stats.amplification());
+    compaction.push("segments_before", stats.segments_before as f64);
+    compaction.push("segments_after", stats.segments_after as f64);
+    compaction.push(
+        "rewrite_MB_per_s",
+        mb(stats.bytes_written) / compact_secs.max(1e-9),
+    );
+    report.add_series(compaction);
+
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_store_produces_all_series() {
+        // A tiny run (scale 1000 → 1k records) exercising the full path.
+        let report = bench_store(1000);
+        assert_eq!(report.id, "BENCH_store");
+        let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["ingest", "scan", "compaction"]);
+        for series in &report.series {
+            for (x, y) in &series.points {
+                assert!(y.is_finite(), "{x} not finite");
+                assert!(*y >= 0.0, "{x} negative");
+            }
+        }
+        // The workload must have spilled into multiple segments for the
+        // compaction numbers to mean anything.
+        let ingest = &report.series[0];
+        let segs = ingest.points.iter().find(|(x, _)| x == "segments").unwrap();
+        assert!(segs.1 >= 1.0);
+    }
+}

@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 use datagen::{QuestConfig, QuestGenerator, RealDataset};
-use disassociation::{reconstruct_many, DisassociationConfig, Disassociator};
+use disassoc_store::{Store, StoreConfig};
+use disassociation::{reconstruct_many, stream, DisassociationConfig, DisassociationOutput};
 use metrics::{InformationLoss, LossConfig};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
-use transact::DatasetStats;
+use std::path::{Path, PathBuf};
+use transact::io::RecordReader;
+use transact::{Dataset, DatasetStats, Record};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +54,13 @@ pub enum Command {
     },
     /// Anonymize a dataset by disassociation.
     Anonymize {
-        /// Input transaction file.
-        input: PathBuf,
+        /// Input transaction file (`None` when reading from a store).
+        input: Option<PathBuf>,
+        /// Store directory to read from instead of a file.
+        store: Option<PathBuf>,
+        /// Records per streaming batch (0 = one batch for file input, the
+        /// default batch size for store input).
+        batch_size: usize,
         /// Privacy parameter k.
         k: usize,
         /// Privacy parameter m.
@@ -64,6 +71,24 @@ pub enum Command {
         no_refine: bool,
         /// Output prefix (writes `<prefix>.chunks.json`).
         out_prefix: PathBuf,
+    },
+    /// Stream a transaction file into a persistent record store.
+    Ingest {
+        /// Input transaction file.
+        input: PathBuf,
+        /// Store directory (created if absent).
+        store: PathBuf,
+        /// Records appended per WAL batch.
+        batch_size: usize,
+        /// Memtable capacity in records (spill threshold).
+        memtable: usize,
+        /// Run a compaction pass after ingesting.
+        compact: bool,
+    },
+    /// Print the state of a persistent record store.
+    StoreInfo {
+        /// Store directory.
+        store: PathBuf,
     },
     /// Sample reconstructions from a published chunk file.
     Reconstruct {
@@ -78,8 +103,12 @@ pub enum Command {
     },
     /// Anonymize and report the information-loss metrics.
     Evaluate {
-        /// Input transaction file.
-        input: PathBuf,
+        /// Input transaction file (`None` when reading from a store).
+        input: Option<PathBuf>,
+        /// Store directory to read from instead of a file.
+        store: Option<PathBuf>,
+        /// Records per streaming batch (same semantics as `anonymize`).
+        batch_size: usize,
         /// Privacy parameter k.
         k: usize,
         /// Privacy parameter m.
@@ -115,6 +144,11 @@ impl From<serde_json::Error> for CliError {
         CliError(e.to_string())
     }
 }
+impl From<disassoc_store::StoreError> for CliError {
+    fn from(e: disassoc_store::StoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
 
 /// The usage text printed by `disassoc help`.
 pub const USAGE: &str = "disassoc — privacy preservation by disassociation (VLDB 2012)
@@ -123,12 +157,23 @@ USAGE:
   disassoc generate   --kind quest|pos|wv1|wv2 [--records N] [--domain N]
                       [--avg-len F] [--scale N] [--seed N] --out FILE
   disassoc stats      --input FILE
-  disassoc anonymize  --input FILE --k K --m M [--max-cluster-size N]
+  disassoc ingest     --input FILE --store DIR [--batch-size N]
+                      [--memtable N] [--compact]
+  disassoc store-info --store DIR
+  disassoc anonymize  (--input FILE | --store DIR) --k K --m M
+                      [--batch-size N] [--max-cluster-size N]
                       [--no-refine] --out-prefix PREFIX
   disassoc reconstruct --chunks FILE.chunks.json --out FILE [--samples N] [--seed N]
-  disassoc evaluate   --input FILE --k K --m M
+  disassoc evaluate   (--input FILE | --store DIR) --k K --m M [--batch-size N]
   disassoc help
+
+Store-backed runs stream the dataset in batches (out-of-core anonymization):
+`--batch-size 0` keeps file input monolithic and selects the default batch
+(8192 records) for store input.
 ";
+
+/// Default batch size for store-backed streaming runs.
+pub const DEFAULT_STORE_BATCH: usize = 8192;
 
 impl Command {
     /// Parses a command line (without the program name).
@@ -165,16 +210,40 @@ impl Command {
             "stats" => Ok(Command::Stats {
                 input: PathBuf::from(req("input")?),
             }),
-            "anonymize" => Ok(Command::Anonymize {
+            "anonymize" => {
+                let (input, store) = input_or_store(&flags)?;
+                Ok(Command::Anonymize {
+                    input,
+                    store,
+                    batch_size: parse_usize(
+                        "batch-size",
+                        &get("batch-size").unwrap_or_else(|| "0".into()),
+                    )?,
+                    k: parse_usize("k", &req("k")?)?,
+                    m: parse_usize("m", &req("m")?)?,
+                    max_cluster_size: parse_usize(
+                        "max-cluster-size",
+                        &get("max-cluster-size").unwrap_or_else(|| "0".into()),
+                    )?,
+                    no_refine: flags.contains_key("no-refine"),
+                    out_prefix: PathBuf::from(req("out-prefix")?),
+                })
+            }
+            "ingest" => Ok(Command::Ingest {
                 input: PathBuf::from(req("input")?),
-                k: parse_usize("k", &req("k")?)?,
-                m: parse_usize("m", &req("m")?)?,
-                max_cluster_size: parse_usize(
-                    "max-cluster-size",
-                    &get("max-cluster-size").unwrap_or_else(|| "0".into()),
+                store: PathBuf::from(req("store")?),
+                batch_size: parse_usize(
+                    "batch-size",
+                    &get("batch-size").unwrap_or_else(|| "1024".into()),
                 )?,
-                no_refine: flags.contains_key("no-refine"),
-                out_prefix: PathBuf::from(req("out-prefix")?),
+                memtable: parse_usize(
+                    "memtable",
+                    &get("memtable").unwrap_or_else(|| "8192".into()),
+                )?,
+                compact: flags.contains_key("compact"),
+            }),
+            "store-info" => Ok(Command::StoreInfo {
+                store: PathBuf::from(req("store")?),
             }),
             "reconstruct" => Ok(Command::Reconstruct {
                 chunks: PathBuf::from(req("chunks")?),
@@ -182,11 +251,19 @@ impl Command {
                 samples: parse_usize("samples", &get("samples").unwrap_or_else(|| "1".into()))?,
                 seed: parse_u64("seed", &get("seed").unwrap_or_else(|| "7".into()))?,
             }),
-            "evaluate" => Ok(Command::Evaluate {
-                input: PathBuf::from(req("input")?),
-                k: parse_usize("k", &req("k")?)?,
-                m: parse_usize("m", &req("m")?)?,
-            }),
+            "evaluate" => {
+                let (input, store) = input_or_store(&flags)?;
+                Ok(Command::Evaluate {
+                    input,
+                    store,
+                    batch_size: parse_usize(
+                        "batch-size",
+                        &get("batch-size").unwrap_or_else(|| "0".into()),
+                    )?,
+                    k: parse_usize("k", &req("k")?)?,
+                    m: parse_usize("m", &req("m")?)?,
+                })
+            }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
         }
@@ -248,13 +325,14 @@ impl Command {
             }
             Command::Anonymize {
                 input,
+                store,
+                batch_size,
                 k,
                 m,
                 max_cluster_size,
                 no_refine,
                 out_prefix,
             } => {
-                let dataset = transact::io::read_numeric_transactions_path(input)?;
                 let config = DisassociationConfig {
                     k: *k,
                     m: *m,
@@ -263,7 +341,12 @@ impl Command {
                     ..Default::default()
                 };
                 config.validate().map_err(CliError)?;
-                let output = Disassociator::new(config).anonymize(&dataset);
+                let output = run_streaming_anonymize(
+                    input.as_deref(),
+                    store.as_deref(),
+                    *batch_size,
+                    &config,
+                )?;
                 let chunks_path = out_prefix.with_extension("chunks.json");
                 std::fs::write(&chunks_path, serde_json::to_vec_pretty(&output.dataset)?)?;
                 writeln!(
@@ -276,6 +359,91 @@ impl Command {
                     output.total_seconds()
                 )?;
                 writeln!(out, "published chunks: {}", chunks_path.display())?;
+                Ok(())
+            }
+            Command::Ingest {
+                input,
+                store,
+                batch_size,
+                memtable,
+                compact,
+            } => {
+                let t0 = std::time::Instant::now();
+                let mut st = Store::open(
+                    store,
+                    StoreConfig {
+                        memtable_capacity: (*memtable).max(1),
+                        ..StoreConfig::default()
+                    },
+                )?;
+                if st.recovered_records() > 0 {
+                    writeln!(
+                        out,
+                        "recovered {} unsealed records from the write-ahead log",
+                        st.recovered_records()
+                    )?;
+                }
+                let before = st.len();
+                let mut reader = RecordReader::open(input)?;
+                loop {
+                    let batch = reader.next_batch((*batch_size).max(1))?;
+                    if batch.is_empty() {
+                        break;
+                    }
+                    st.append_batch(&batch)?;
+                }
+                st.flush()?;
+                let ingested = st.len() - before;
+                writeln!(
+                    out,
+                    "ingested {} records into {} ({} total) in {:.2}s",
+                    ingested,
+                    store.display(),
+                    st.len(),
+                    t0.elapsed().as_secs_f64()
+                )?;
+                if *compact {
+                    let stats = st.compact()?;
+                    writeln!(
+                        out,
+                        "compacted {} segments into {} ({} merges, amplification {:.2})",
+                        stats.segments_before,
+                        stats.segments_after,
+                        stats.merges,
+                        stats.amplification()
+                    )?;
+                }
+                Ok(())
+            }
+            Command::StoreInfo { store } => {
+                let st = open_existing_store(store)?;
+                let info = st.info()?;
+                writeln!(
+                    out,
+                    "store {}: {} records ({} sealed in {} segments, {} in memtable)",
+                    store.display(),
+                    info.records,
+                    info.records_in_segments,
+                    info.segments.len(),
+                    info.memtable_records
+                )?;
+                writeln!(
+                    out,
+                    "segment bytes {}  wal bytes {}  terms [{}..{}] distinct<= {} occurrences {}",
+                    info.segment_bytes(),
+                    info.wal_bytes,
+                    info.terms.min_term.map_or("-".into(), |t| t.to_string()),
+                    info.terms.max_term.map_or("-".into(), |t| t.to_string()),
+                    info.terms.distinct_terms,
+                    info.terms.term_occurrences
+                )?;
+                for (entry, meta) in &info.segments {
+                    writeln!(
+                        out,
+                        "  segment {:>6}  {:>10} records  {:>12} bytes  {}",
+                        entry.id, entry.records, entry.bytes, meta.terms.term_occurrences
+                    )?;
+                }
                 Ok(())
             }
             Command::Reconstruct {
@@ -299,20 +467,138 @@ impl Command {
                 }
                 Ok(())
             }
-            Command::Evaluate { input, k, m } => {
-                let dataset = transact::io::read_numeric_transactions_path(input)?;
+            Command::Evaluate {
+                input,
+                store,
+                batch_size,
+                k,
+                m,
+            } => {
                 let config = DisassociationConfig {
                     k: *k,
                     m: *m,
                     ..Default::default()
                 };
                 config.validate().map_err(CliError)?;
-                let output = Disassociator::new(config).anonymize(&dataset);
+                // The loss metrics compare against the original records, so
+                // `evaluate` materializes the dataset regardless of source
+                // (it is an offline analysis tool, not the ingest path).
+                let dataset = match (input, store) {
+                    (Some(path), _) => transact::io::read_numeric_transactions_path(path)?,
+                    (None, Some(dir)) => {
+                        let st = open_existing_store(dir)?;
+                        let mut records: Vec<Record> = Vec::new();
+                        for batch in st.scan(DEFAULT_STORE_BATCH) {
+                            records.extend(batch?);
+                        }
+                        Dataset::from_records(records)
+                    }
+                    (None, None) => unreachable!("parser enforces input xor store"),
+                };
+                // Same batch-size semantics as `anonymize`, so the metrics
+                // describe the publication `anonymize` would actually write:
+                // 0 = monolithic for file input, default batch for store.
+                let effective_batch = if store.is_some() && *batch_size == 0 {
+                    DEFAULT_STORE_BATCH
+                } else {
+                    *batch_size
+                };
+                let (output, _) = stream::stream_anonymize_collect(
+                    stream::dataset_batches(&dataset, effective_batch),
+                    &config,
+                );
                 let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
                 writeln!(out, "{}", loss.table_row(&format!("k={k} m={m}")))?;
                 Ok(())
             }
         }
+    }
+}
+
+/// Runs the streaming anonymization pipeline from either source.
+///
+/// Both sources feed [`stream::stream_anonymize_collect`] batch by batch, so
+/// original-record residency is bounded by the batch size; `batch_size == 0`
+/// selects one monolithic batch for file input (the historical behaviour)
+/// and [`DEFAULT_STORE_BATCH`] for store input.  Identical record sequences
+/// with identical batch sizes publish byte-identical datasets regardless of
+/// source.
+fn run_streaming_anonymize(
+    input: Option<&Path>,
+    store: Option<&Path>,
+    batch_size: usize,
+    config: &DisassociationConfig,
+) -> Result<DisassociationOutput, CliError> {
+    match (input, store) {
+        (Some(path), _) => {
+            let mut reader = RecordReader::open(path)?;
+            let size = if batch_size == 0 {
+                usize::MAX
+            } else {
+                batch_size
+            };
+            let mut read_err: Option<transact::TransactError> = None;
+            let batches = std::iter::from_fn(|| match reader.next_batch(size) {
+                Ok(batch) if batch.is_empty() => None,
+                Ok(batch) => Some(batch),
+                Err(e) => {
+                    read_err = Some(e);
+                    None
+                }
+            });
+            let (output, _) = stream::stream_anonymize_collect(batches, config);
+            match read_err {
+                Some(e) => Err(e.into()),
+                None => Ok(output),
+            }
+        }
+        (None, Some(dir)) => {
+            let st = open_existing_store(dir)?;
+            let size = if batch_size == 0 {
+                DEFAULT_STORE_BATCH
+            } else {
+                batch_size
+            };
+            let mut scan_err: Option<disassoc_store::StoreError> = None;
+            let batches = st.scan(size).map_while(|r| match r {
+                Ok(batch) => Some(batch),
+                Err(e) => {
+                    scan_err = Some(e);
+                    None
+                }
+            });
+            let (output, _) = stream::stream_anonymize_collect(batches, config);
+            match scan_err {
+                Some(e) => Err(e.into()),
+                None => Ok(output),
+            }
+        }
+        (None, None) => Err(CliError("one of --input or --store is required".into())),
+    }
+}
+
+/// Opens a store for reading, refusing to conjure an empty one out of a
+/// missing/uninitialized directory (only `ingest` creates stores).
+fn open_existing_store(dir: &Path) -> Result<Store, CliError> {
+    if !Store::exists(dir) {
+        return Err(CliError(format!(
+            "no store at {} (run `disassoc ingest` first)",
+            dir.display()
+        )));
+    }
+    Ok(Store::open(dir, StoreConfig::default())?)
+}
+
+/// Resolves the mutually exclusive `--input FILE` / `--store DIR` pair.
+fn input_or_store(
+    flags: &BTreeMap<String, String>,
+) -> Result<(Option<PathBuf>, Option<PathBuf>), CliError> {
+    match (flags.get("input"), flags.get("store")) {
+        (Some(_), Some(_)) => Err(CliError(
+            "--input and --store are mutually exclusive".into(),
+        )),
+        (None, None) => Err(CliError("one of --input or --store is required".into())),
+        (input, store) => Ok((input.map(PathBuf::from), store.map(PathBuf::from))),
     }
 }
 
@@ -325,7 +611,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(CliError(format!("unexpected argument {arg:?}")));
         };
-        let is_boolean = name == "no-refine";
+        let is_boolean = name == "no-refine" || name == "compact";
         if is_boolean {
             flags.insert(name.to_owned(), "true".to_owned());
             i += 1;
@@ -412,6 +698,138 @@ mod tests {
     #[test]
     fn positional_arguments_are_rejected() {
         assert!(Command::parse(&args("stats input.dat")).is_err());
+    }
+
+    #[test]
+    fn parse_ingest_and_store_info() {
+        let cmd = Command::parse(&args(
+            "ingest --input d.dat --store /tmp/s --batch-size 500 --memtable 2000 --compact",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Ingest {
+                batch_size,
+                memtable,
+                compact,
+                ..
+            } => {
+                assert_eq!(batch_size, 500);
+                assert_eq!(memtable, 2000);
+                assert!(compact);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = Command::parse(&args("store-info --store /tmp/s")).unwrap();
+        assert!(matches!(cmd, Command::StoreInfo { .. }));
+    }
+
+    #[test]
+    fn anonymize_accepts_store_or_input_but_not_both() {
+        let cmd = Command::parse(&args(
+            "anonymize --store /tmp/s --k 3 --m 2 --batch-size 64 --out-prefix p",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Anonymize {
+                input,
+                store,
+                batch_size,
+                ..
+            } => {
+                assert!(input.is_none());
+                assert_eq!(store, Some(PathBuf::from("/tmp/s")));
+                assert_eq!(batch_size, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = Command::parse(&args(
+            "anonymize --input d.dat --store /tmp/s --k 3 --m 2 --out-prefix p",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("mutually exclusive"));
+        let err = Command::parse(&args("evaluate --k 3 --m 2")).unwrap_err();
+        assert!(err.0.contains("--input or --store"));
+    }
+
+    #[test]
+    fn reading_a_missing_store_is_an_error_not_an_empty_store() {
+        let dir = std::env::temp_dir().join("disassoc_cli_missing_store");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = Vec::new();
+        for cmd in [
+            format!("store-info --store {}", dir.display()),
+            format!(
+                "anonymize --store {} --k 3 --m 2 --out-prefix p",
+                dir.display()
+            ),
+            format!("evaluate --store {} --k 3 --m 2", dir.display()),
+        ] {
+            let err = Command::parse(&args(&cmd))
+                .unwrap()
+                .run(&mut sink)
+                .unwrap_err();
+            assert!(err.0.contains("no store at"), "{cmd}: {err}");
+        }
+        assert!(!dir.exists(), "read commands must not create the store");
+    }
+
+    #[test]
+    fn end_to_end_ingest_store_info_anonymize_from_store() {
+        let dir = std::env::temp_dir().join("disassoc_cli_store_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.dat");
+        let store = dir.join("store");
+        let mut sink = Vec::new();
+
+        Command::parse(&args(&format!(
+            "generate --kind quest --records 200 --domain 60 --out {}",
+            data.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        Command::parse(&args(&format!(
+            "ingest --input {} --store {} --batch-size 16 --memtable 32 --compact",
+            data.display(),
+            store.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        Command::parse(&args(&format!("store-info --store {}", store.display())))
+            .unwrap()
+            .run(&mut sink)
+            .unwrap();
+
+        let prefix = dir.join("published");
+        Command::parse(&args(&format!(
+            "anonymize --store {} --k 3 --m 2 --batch-size 64 --out-prefix {}",
+            store.display(),
+            prefix.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        assert!(prefix.with_extension("chunks.json").exists());
+
+        Command::parse(&args(&format!(
+            "evaluate --store {} --k 3 --m 2 --batch-size 64",
+            store.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("ingested 200 records"), "{text}");
+        assert!(text.contains("compacted"), "{text}");
+        assert!(text.contains("store"), "{text}");
+        assert!(text.contains("anonymized 200 records"), "{text}");
+        assert!(text.contains("tKd"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

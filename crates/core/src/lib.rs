@@ -57,6 +57,7 @@ pub mod model;
 pub mod query;
 pub mod reconstruct;
 pub mod refine;
+pub mod stream;
 pub mod verify;
 pub mod verpart;
 

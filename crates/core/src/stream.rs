@@ -1,0 +1,266 @@
+//! Out-of-core anonymization: HorPart/VerPart/Refine per record batch.
+//!
+//! The monolithic [`crate::Disassociator::anonymize`] needs the whole dataset
+//! in memory.  This module runs the same three phases **per batch** drawn
+//! from any record source (a `disassoc-store` chunked scan, a streaming
+//! file reader, an in-memory dataset split into batches), so peak residency
+//! of *original records* is bounded by the batch size:
+//!
+//! * each batch is horizontally partitioned, vertically partitioned and
+//!   refined independently, exactly as a standalone dataset would be;
+//! * the published clusters of a batch are handed to a sink callback as soon
+//!   as the batch completes, and the batch's records are dropped before the
+//!   next batch is pulled.
+//!
+//! Correctness: k^m-anonymity is a *per-cluster* guarantee (every record
+//! chunk of every cluster is k^m-anonymous on its own — Section 3 of the
+//! paper), so partitioning the horizontal phase by batch cannot weaken it;
+//! it only constrains which records may share a cluster, which is a utility
+//! trade-off, not a privacy one.  Determinism: a batch's output depends only
+//! on its records and the configuration, so any two sources yielding the
+//! same record sequence and batch size publish byte-identical datasets —
+//! the store-backed and in-memory paths are interchangeable.
+
+use crate::model::ClusterNode;
+use crate::{DisassociationConfig, DisassociationOutput, Disassociator};
+use transact::{Dataset, Record};
+
+/// One anonymized batch, as handed to the sink callback.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// 0-based index of the batch in the stream.
+    pub batch_index: usize,
+    /// Ordinal of the batch's first record in the overall stream.
+    pub record_offset: usize,
+    /// The batch's anonymization result.  `cluster_assignment` indices are
+    /// *batch-local*; add [`BatchOutput::record_offset`] for stream-wide
+    /// ordinals.
+    pub output: DisassociationOutput,
+}
+
+/// Counters describing a finished streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamSummary {
+    /// Batches processed.
+    pub batches: usize,
+    /// Records processed.
+    pub records: usize,
+    /// Largest single batch seen (the bound on original-record residency).
+    pub peak_batch_records: usize,
+}
+
+/// Runs the disassociation pipeline batch by batch, invoking `sink` with
+/// every finished [`BatchOutput`].
+///
+/// `batches` yields anything convertible into a `Vec<Record>`; each batch is
+/// converted, anonymized and dropped before the next one is pulled.  Errors
+/// in the source are the source's business: infallible iterators plug in
+/// directly, fallible sources (store scans, file readers) typically
+/// short-circuit before calling this.
+///
+/// # Panics
+/// Panics if `config` is invalid (same contract as [`Disassociator::new`]).
+pub fn stream_anonymize<B, I, F>(
+    batches: I,
+    config: &DisassociationConfig,
+    mut sink: F,
+) -> StreamSummary
+where
+    B: Into<Vec<Record>>,
+    I: IntoIterator<Item = B>,
+    F: FnMut(BatchOutput),
+{
+    let disassociator = Disassociator::new(config.clone());
+    let mut summary = StreamSummary::default();
+    for batch in batches {
+        let records: Vec<Record> = batch.into();
+        if records.is_empty() {
+            continue;
+        }
+        let len = records.len();
+        let output = disassociator.anonymize(&Dataset::from_records(records));
+        sink(BatchOutput {
+            batch_index: summary.batches,
+            record_offset: summary.records,
+            output,
+        });
+        summary.batches += 1;
+        summary.records += len;
+        summary.peak_batch_records = summary.peak_batch_records.max(len);
+    }
+    summary
+}
+
+/// Streams batches through [`stream_anonymize`] and assembles the combined
+/// publication: cluster nodes concatenated in stream order, assignment
+/// indices rebased to stream-wide ordinals, phase timings summed.
+///
+/// The combined output is exactly what the monolithic path produces when the
+/// whole stream fits one batch; for smaller batches it is the batched
+/// publication (one independent cluster forest per batch, concatenated).
+pub fn stream_anonymize_collect<B, I>(
+    batches: I,
+    config: &DisassociationConfig,
+) -> (DisassociationOutput, StreamSummary)
+where
+    B: Into<Vec<Record>>,
+    I: IntoIterator<Item = B>,
+{
+    let mut clusters: Vec<ClusterNode> = Vec::new();
+    let mut cluster_assignment: Vec<Vec<usize>> = Vec::new();
+    let mut phase_seconds = [0.0f64; 3];
+    let summary = stream_anonymize(batches, config, |batch| {
+        let offset = batch.record_offset;
+        let output = batch.output;
+        clusters.extend(output.dataset.clusters);
+        cluster_assignment.extend(
+            output
+                .cluster_assignment
+                .into_iter()
+                .map(|indices| indices.into_iter().map(|i| i + offset).collect()),
+        );
+        for (total, phase) in phase_seconds.iter_mut().zip(output.phase_seconds) {
+            *total += phase;
+        }
+    });
+    let dataset = crate::DisassociatedDataset {
+        k: config.k,
+        m: config.m,
+        clusters,
+    };
+    (
+        DisassociationOutput {
+            dataset,
+            cluster_assignment,
+            phase_seconds,
+        },
+        summary,
+    )
+}
+
+/// Splits an in-memory dataset into `batch_size`-record batches (the
+/// adapter that lets the monolithic input format run through the streaming
+/// path; `batch_size == 0` means a single batch).
+pub fn dataset_batches(dataset: &Dataset, batch_size: usize) -> Vec<Vec<Record>> {
+    if dataset.is_empty() {
+        return Vec::new();
+    }
+    let size = if batch_size == 0 {
+        dataset.len()
+    } else {
+        batch_size
+    };
+    dataset.records().chunks(size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use transact::TermId;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn workload(n: u32) -> Dataset {
+        Dataset::from_records(
+            (0..n)
+                .map(|i| rec(&[i % 5, 5 + (i % 3), 10 + (i % 7), 20 + (i % 2)]))
+                .collect(),
+        )
+    }
+
+    fn config() -> DisassociationConfig {
+        DisassociationConfig {
+            k: 3,
+            m: 2,
+            max_cluster_size: 8,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_batch_equals_monolithic_path() {
+        let d = workload(40);
+        let mono = Disassociator::new(config()).anonymize(&d);
+        let (streamed, summary) = stream_anonymize_collect(dataset_batches(&d, 0), &config());
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.records, 40);
+        assert_eq!(streamed.dataset, mono.dataset);
+        assert_eq!(streamed.cluster_assignment, mono.cluster_assignment);
+    }
+
+    #[test]
+    fn batched_output_is_source_independent() {
+        // Two different "sources" (chunk sizes arranged differently up
+        // front, same yielded record sequence) publish identical datasets.
+        let d = workload(50);
+        let (a, _) = stream_anonymize_collect(dataset_batches(&d, 16), &config());
+        let batches: Vec<Vec<Record>> = d.records().chunks(16).map(<[Record]>::to_vec).collect();
+        let (b, _) = stream_anonymize_collect(batches, &config());
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.cluster_assignment, b.cluster_assignment);
+    }
+
+    #[test]
+    fn every_batch_passes_verification_and_covers_all_records() {
+        let d = workload(64);
+        let (out, summary) = stream_anonymize_collect(dataset_batches(&d, 20), &config());
+        assert_eq!(summary.batches, 4);
+        assert_eq!(summary.peak_batch_records, 20);
+        assert_eq!(out.dataset.total_records(), 64);
+        assert!(verify::verify_structure(&out.dataset).is_ok());
+        // Assignment is a permutation of all stream ordinals.
+        let mut all: Vec<usize> = out.cluster_assignment.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+        // The attack surface check also holds against the original records.
+        let attack = verify::verify_attack(&d, &out.dataset, &out.cluster_assignment);
+        assert!(attack.is_ok(), "{:?}", attack.violations);
+    }
+
+    #[test]
+    fn sink_sees_batches_in_order_with_offsets() {
+        let d = workload(25);
+        let mut seen = Vec::new();
+        let summary = stream_anonymize(dataset_batches(&d, 10), &config(), |b| {
+            seen.push((
+                b.batch_index,
+                b.record_offset,
+                b.output.dataset.total_records(),
+            ));
+        });
+        assert_eq!(seen, vec![(0, 0, 10), (1, 10, 10), (2, 20, 5)]);
+        assert_eq!(summary.records, 25);
+        assert_eq!(summary.peak_batch_records, 10);
+    }
+
+    #[test]
+    fn empty_batches_are_skipped() {
+        let batches: Vec<Vec<Record>> = vec![vec![], vec![rec(&[1]); 6], vec![]];
+        let (out, summary) = stream_anonymize_collect(batches, &config());
+        assert_eq!(summary.batches, 1);
+        assert_eq!(out.dataset.total_records(), 6);
+    }
+
+    #[test]
+    fn empty_stream_produces_empty_publication() {
+        let (out, summary) = stream_anonymize_collect(Vec::<Vec<Record>>::new(), &config());
+        assert_eq!(summary, StreamSummary::default());
+        assert_eq!(out.dataset.total_records(), 0);
+        assert!(out.dataset.clusters.is_empty());
+    }
+
+    #[test]
+    fn dataset_batches_chunking() {
+        let d = workload(10);
+        assert_eq!(dataset_batches(&d, 0).len(), 1);
+        assert_eq!(dataset_batches(&d, 4).len(), 3);
+        assert_eq!(dataset_batches(&d, 100).len(), 1);
+        assert!(dataset_batches(&Dataset::new(), 4).is_empty());
+        let flat: Vec<Record> = dataset_batches(&d, 3).into_iter().flatten().collect();
+        assert_eq!(flat, d.records());
+    }
+}

@@ -137,7 +137,7 @@ fn derive_threshold(transactions: &[Vec<u32>], config: &TopKConfig) -> u64 {
         .filter(|&(_, &count)| count >= threshold)
         .map(|(set, &count)| (count, subset_work(set.len(), config.max_len)))
         .collect();
-    contributors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    contributors.sort_unstable_by_key(|a| a.0);
     let mut work: f64 = contributors.iter().map(|&(_, w)| w).sum();
     for &(count, record_work) in &contributors {
         if work <= SUBSET_WORK_BUDGET {

@@ -1,0 +1,330 @@
+//! Low-level encoding primitives shared by the segment, WAL and manifest
+//! layers: LEB128 varints, delta-encoded records and CRC-32.
+//!
+//! A record is serialized as
+//!
+//! ```text
+//! varint(term_count) varint(first_term) varint(delta_1) ... varint(delta_n)
+//! ```
+//!
+//! where `delta_i = term_i - term_{i-1}`.  Records have set semantics and are
+//! stored sorted ([`transact::Record`] keeps them canonical), so every delta
+//! is at least 1; the sorted-neighbour gaps of a realistic term distribution
+//! are small and most deltas fit a single byte.
+
+use crate::{Result, StoreError};
+use std::io::{Read, Write};
+use transact::{Record, TermId};
+
+/// Writes a `u64` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn write_varint<W: Write>(mut value: u64, out: &mut W) -> std::io::Result<usize> {
+    let mut written = 0;
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.write_all(&[byte])?;
+            return Ok(written + 1);
+        }
+        out.write_all(&[byte | 0x80])?;
+        written += 1;
+    }
+}
+
+/// Reads an LEB128 varint. Fails on EOF mid-value or on overlong encodings
+/// that do not fit a `u64`.
+pub fn read_varint<R: Read>(input: &mut R) -> Result<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        input
+            .read_exact(&mut byte)
+            .map_err(|e| truncation_error(e, "varint"))?;
+        let b = byte[0];
+        if shift >= 63 && b > 1 {
+            return Err(StoreError::corrupt("varint overflows u64"));
+        }
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(StoreError::corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Serializes one record (delta varints, see module docs). Returns the number
+/// of bytes written.
+pub fn write_record<W: Write>(record: &Record, out: &mut W) -> std::io::Result<usize> {
+    let mut n = write_varint(record.len() as u64, out)?;
+    let mut prev: u64 = 0;
+    for (i, term) in record.iter().enumerate() {
+        let raw = u64::from(term.raw());
+        let encoded = if i == 0 { raw } else { raw - prev };
+        n += write_varint(encoded, out)?;
+        prev = raw;
+    }
+    Ok(n)
+}
+
+/// Deserializes one record written by [`write_record`].
+pub fn read_record<R: Read>(input: &mut R) -> Result<Record> {
+    let count = read_varint(input)?;
+    if count > u64::from(u32::MAX) {
+        return Err(StoreError::corrupt("record length overflows u32"));
+    }
+    let mut terms = Vec::with_capacity(count as usize);
+    let mut prev: u64 = 0;
+    for i in 0..count {
+        let v = read_varint(input)?;
+        // Checked add: a corrupt delta must surface as Corrupt, not as a
+        // debug-build panic or a release-build wraparound that mis-parses.
+        let raw = if i == 0 {
+            v
+        } else {
+            prev.checked_add(v)
+                .ok_or_else(|| StoreError::corrupt("record term delta overflows u64"))?
+        };
+        if raw > u64::from(u32::MAX) || (i > 0 && v == 0) {
+            return Err(StoreError::corrupt(
+                "record term ids not strictly increasing",
+            ));
+        }
+        terms.push(TermId::new(raw as u32));
+        prev = raw;
+    }
+    Ok(Record::from_ids(terms))
+}
+
+fn truncation_error(e: std::io::Error, what: &str) -> StoreError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StoreError::corrupt(format!("truncated {what}"))
+    } else {
+        StoreError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the polynomial used by gzip/zip) with a const-built
+/// lookup table; the offline crate set has no checksum crate.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ CRC_TABLE[idx];
+        }
+    }
+
+    /// Finalizes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot convenience.
+    pub fn checksum(bytes: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+/// A writer adapter that feeds everything it writes into a CRC-32.
+pub struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+    /// Bytes written so far.
+    pub bytes: u64,
+}
+
+impl<W: Write> CrcWriter<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        CrcWriter {
+            inner,
+            crc: Crc32::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn crc(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(5, &mut buf).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(127, &mut buf).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(128, &mut buf).unwrap();
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        let buf = vec![0x80u8, 0x80];
+        let err = read_varint(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = vec![0x80u8; 11];
+        assert!(read_varint(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        for r in [
+            rec(&[]),
+            rec(&[0]),
+            rec(&[7, 7, 8]),
+            rec(&[1, 100, 100000, u32::MAX]),
+        ] {
+            let mut buf = Vec::new();
+            write_record(&r, &mut buf).unwrap();
+            assert_eq!(read_record(&mut buf.as_slice()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_denser_than_raw() {
+        // Ten adjacent large ids: deltas of 1 encode in one byte each.
+        let r = rec(&(1_000_000..1_000_010).collect::<Vec<u32>>());
+        let mut buf = Vec::new();
+        write_record(&r, &mut buf).unwrap();
+        // count (1) + first id (3) + 9 deltas (1 each).
+        assert_eq!(buf.len(), 13);
+    }
+
+    #[test]
+    fn zero_delta_is_rejected() {
+        // count=2, first=5, delta=0 — would mean a duplicate term.
+        let mut buf = Vec::new();
+        write_varint(2, &mut buf).unwrap();
+        write_varint(5, &mut buf).unwrap();
+        write_varint(0, &mut buf).unwrap();
+        assert!(read_record(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn overflowing_delta_is_rejected_not_wrapped() {
+        // count=2, first=5, delta=u64::MAX: 5 + MAX wraps to 4 — must be
+        // Corrupt, not a panic (debug) or a silently accepted record
+        // (release).
+        let mut buf = Vec::new();
+        write_varint(2, &mut buf).unwrap();
+        write_varint(5, &mut buf).unwrap();
+        write_varint(u64::MAX, &mut buf).unwrap();
+        let err = read_record(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn crc_writer_tracks_bytes_and_checksum() {
+        let mut w = CrcWriter::new(Vec::new());
+        w.write_all(b"1234").unwrap();
+        w.write_all(b"56789").unwrap();
+        assert_eq!(w.bytes, 9);
+        assert_eq!(w.crc(), 0xCBF4_3926);
+        assert_eq!(w.into_inner(), b"123456789");
+    }
+}

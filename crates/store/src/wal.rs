@@ -1,0 +1,268 @@
+//! Write-ahead log.
+//!
+//! Every appended batch is written to the WAL *before* it enters the
+//! memtable, so an interrupted ingest recovers to a consistent state: on
+//! reopen, the WAL is replayed into a fresh memtable and ingestion continues
+//! where it stopped.
+//!
+//! Entry layout (little-endian):
+//!
+//! ```text
+//! [payload_len u32][crc32 u32][payload]
+//! payload = ordinal u64 · varint(record_count) · encoded records
+//! ```
+//!
+//! `ordinal` is the store-wide ordinal of the first record of the batch.  It
+//! makes replay idempotent with respect to memtable spills: a crash *between*
+//! "segment sealed + manifest committed" and "WAL truncated" leaves entries
+//! in the log that are already persisted in segments; replay skips every
+//! entry whose records lie below the manifest's persisted-record count
+//! instead of duplicating them.
+//!
+//! The CRC covers the payload.  A torn final entry (truncated file, partial
+//! write, bit flip) is detected and *discarded*, not treated as an error:
+//! losing the unacknowledged tail of a crashed write is the expected
+//! contract, silently mis-parsing it is not.
+
+use crate::encode::{read_record, write_record, write_varint, Crc32};
+use crate::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use transact::Record;
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// A replayed WAL entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Store-wide ordinal of the first record of the batch.
+    pub ordinal: u64,
+    /// The records of the batch.
+    pub records: Vec<Record>,
+}
+
+/// An open write-ahead log (append side).
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `dir/wal.log` for appending.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            bytes,
+        })
+    }
+
+    /// Appends one batch and flushes it to the OS.  `ordinal` is the
+    /// store-wide ordinal of the first record.
+    pub fn append_batch(&mut self, ordinal: u64, records: &[Record]) -> Result<()> {
+        let mut payload = Vec::with_capacity(16 + records.len() * 8);
+        payload.extend_from_slice(&ordinal.to_le_bytes());
+        write_varint(records.len() as u64, &mut payload)?;
+        for r in records {
+            write_record(r, &mut payload)?;
+        }
+        let len = u32::try_from(payload.len())
+            .map_err(|_| StoreError::corrupt("WAL batch exceeds 4 GiB"))?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer
+            .write_all(&Crc32::checksum(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        self.bytes += 8 + u64::from(len);
+        Ok(())
+    }
+
+    /// Forces the log contents to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Truncates the log after a memtable spill: its contents are now
+    /// persisted in a sealed segment referenced by the manifest.
+    pub fn truncate(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        let file = self.writer.get_ref();
+        file.set_len(0)?;
+        file.sync_all()?;
+        // Reopen in append mode so the write cursor returns to offset 0
+        // (set_len does not move an append-mode cursor on every platform).
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// Replays `dir/wal.log`, returning every intact entry in order.
+///
+/// A torn or corrupt tail is discarded; everything before it is returned.
+/// A missing file replays to an empty list.
+pub fn replay(dir: &Path) -> Result<Vec<WalEntry>> {
+    let path = dir.join(WAL_FILE);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let payload_start = pos + 8;
+        let payload_end = match payload_start.checked_add(len) {
+            Some(end) if end <= bytes.len() => end,
+            _ => break, // torn tail: length runs past EOF
+        };
+        let payload = &bytes[payload_start..payload_end];
+        if Crc32::checksum(payload) != crc {
+            break; // torn or flipped tail
+        }
+        match decode_entry(payload) {
+            Ok(entry) => entries.push(entry),
+            Err(_) => break, // CRC matched but payload malformed: treat as tail damage
+        }
+        pos = payload_end;
+    }
+    Ok(entries)
+}
+
+fn decode_entry(payload: &[u8]) -> Result<WalEntry> {
+    if payload.len() < 8 {
+        return Err(StoreError::corrupt("WAL payload shorter than its header"));
+    }
+    let ordinal = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let mut cursor = &payload[8..];
+    let count = crate::encode::read_varint(&mut cursor)?;
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        records.push(read_record(&mut cursor)?);
+    }
+    if !cursor.is_empty() {
+        return Err(StoreError::corrupt("trailing bytes in WAL payload"));
+    }
+    Ok(WalEntry { ordinal, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transact::TermId;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("disassoc_store_wal_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(0, &[rec(&[1, 2]), rec(&[3])]).unwrap();
+        wal.append_batch(2, &[rec(&[9])]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let entries = replay(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].ordinal, 0);
+        assert_eq!(entries[0].records, vec![rec(&[1, 2]), rec(&[3])]);
+        assert_eq!(entries[1].ordinal, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let dir = tmpdir("missing");
+        assert!(replay(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let dir = tmpdir("torn");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(0, &[rec(&[1])]).unwrap();
+        wal.append_batch(1, &[rec(&[2, 3, 4])]).unwrap();
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let entries = replay(&dir).unwrap();
+        assert_eq!(entries.len(), 1, "only the intact first entry survives");
+        assert_eq!(entries[0].records, vec![rec(&[1])]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_in_tail_is_discarded() {
+        let dir = tmpdir("flip");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(0, &[rec(&[1])]).unwrap();
+        wal.append_batch(1, &[rec(&[2])]).unwrap();
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let entries = replay(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_resets_the_log() {
+        let dir = tmpdir("trunc");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(0, &[rec(&[1])]).unwrap();
+        assert!(wal.bytes() > 0);
+        wal.truncate().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        assert!(replay(&dir).unwrap().is_empty());
+        // The log is still usable after truncation.
+        wal.append_batch(5, &[rec(&[7])]).unwrap();
+        drop(wal);
+        let entries = replay(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].ordinal, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let dir = tmpdir("emptybatch");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(3, &[]).unwrap();
+        drop(wal);
+        let entries = replay(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,25 +16,107 @@ use crate::{Result, TransactError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// A streaming reader of numeric transaction files: an iterator yielding one
+/// [`Record`] per non-empty, non-comment line.
+///
+/// Unlike [`read_numeric_transactions`], which materializes the whole file as
+/// a [`Dataset`], the reader holds a single reused line buffer — it is the
+/// front end of the out-of-core ingestion path (`disassoc ingest`), where the
+/// dataset is larger than memory by design.
+///
+/// ```
+/// use transact::io::RecordReader;
+///
+/// let input = "1 2 3\n# comment\n\n5\n";
+/// let records: Vec<_> = RecordReader::new(input.as_bytes())
+///     .map(|r| r.unwrap())
+///     .collect();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].terms(), &[transact::TermId::new(5)]);
+/// ```
+#[derive(Debug)]
+pub struct RecordReader<R: BufRead> {
+    input: R,
+    line_buf: String,
+    lineno: usize,
+    ids_buf: Vec<TermId>,
+}
+
+impl RecordReader<BufReader<std::fs::File>> {
+    /// Opens a numeric transaction file for streaming.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Ok(RecordReader::new(BufReader::new(std::fs::File::open(
+            path,
+        )?)))
+    }
+}
+
+impl<R: BufRead> RecordReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        RecordReader {
+            input,
+            line_buf: String::new(),
+            lineno: 0,
+            ids_buf: Vec::new(),
+        }
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line_number(&self) -> usize {
+        self.lineno
+    }
+
+    fn read_one(&mut self) -> Result<Option<Record>> {
+        loop {
+            self.line_buf.clear();
+            self.lineno += 1;
+            if self.input.read_line(&mut self.line_buf)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = self.line_buf.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            self.ids_buf.clear();
+            for tok in trimmed.split_whitespace() {
+                let raw: u32 = tok.parse().map_err(|_| TransactError::Parse {
+                    line: self.lineno,
+                    message: format!("expected an unsigned integer, got {tok:?}"),
+                })?;
+                self.ids_buf.push(TermId::new(raw));
+            }
+            return Ok(Some(Record::from_ids(self.ids_buf.iter().copied())));
+        }
+    }
+
+    /// Collects the next `n` records into a batch (fewer at EOF; an empty
+    /// vector only at EOF).
+    pub fn next_batch(&mut self, n: usize) -> Result<Vec<Record>> {
+        let mut batch = Vec::with_capacity(n.min(1024));
+        while batch.len() < n {
+            match self.read_one()? {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
+}
+
+impl<R: BufRead> Iterator for RecordReader<R> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_one().transpose()
+    }
+}
+
 /// Reads a numeric transaction file (one record per line, integer ids).
 pub fn read_numeric_transactions<R: Read>(reader: R) -> Result<Dataset> {
-    let buf = BufReader::new(reader);
     let mut records = Vec::new();
-    for (lineno, line) in buf.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut ids = Vec::new();
-        for tok in trimmed.split_whitespace() {
-            let raw: u32 = tok.parse().map_err(|_| TransactError::Parse {
-                line: lineno + 1,
-                message: format!("expected an unsigned integer, got {tok:?}"),
-            })?;
-            ids.push(TermId::new(raw));
-        }
-        records.push(Record::from_ids(ids));
+    for record in RecordReader::new(BufReader::new(reader)) {
+        records.push(record?);
     }
     Ok(Dataset::from_records(records))
 }
@@ -64,7 +146,11 @@ pub fn write_numeric_transactions<W: Write>(dataset: &Dataset, writer: &mut W) -
 /// Writes a dataset to a path in the numeric transaction format.
 pub fn write_numeric_transactions_path<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_numeric_transactions(dataset, &mut file)
+    write_numeric_transactions(dataset, &mut file)?;
+    // An explicit flush: `BufWriter`'s Drop impl swallows write errors, so
+    // without it a failed final-buffer write would be reported as success.
+    file.flush()?;
+    Ok(())
 }
 
 /// Reads a named transaction file (whitespace-separated term strings),
@@ -97,6 +183,20 @@ pub fn write_named_transactions<W: Write>(
         let names: Vec<String> = record.iter().map(|t| dict.term_or_placeholder(t)).collect();
         writeln!(writer, "{}", names.join(" "))?;
     }
+    Ok(())
+}
+
+/// Writes a dataset to a path as named transactions (the path twin of
+/// [`write_named_transactions`], flushing explicitly for the same reason as
+/// [`write_numeric_transactions_path`]).
+pub fn write_named_transactions_path<P: AsRef<Path>>(
+    dataset: &Dataset,
+    dict: &Dictionary,
+    path: P,
+) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_named_transactions(dataset, dict, &mut file)?;
+    file.flush()?;
     Ok(())
 }
 
@@ -156,6 +256,83 @@ mod tests {
         let input = "7 7 8\n";
         let dataset = read_numeric_transactions(input.as_bytes()).unwrap();
         assert_eq!(dataset.records()[0].len(), 2);
+    }
+
+    #[test]
+    fn record_reader_streams_and_reuses_buffers() {
+        let input = "3 1 2\n\n# skip me\n9\n  7 8  \n";
+        let mut reader = RecordReader::new(input.as_bytes());
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(
+            first.terms(),
+            &[TermId::new(1), TermId::new(2), TermId::new(3)]
+        );
+        // Comments and blanks are skipped; line numbers track the raw file.
+        let second = reader.next().unwrap().unwrap();
+        assert_eq!(second.terms(), &[TermId::new(9)]);
+        assert_eq!(reader.line_number(), 4);
+        let third = reader.next().unwrap().unwrap();
+        assert_eq!(third.terms(), &[TermId::new(7), TermId::new(8)]);
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none(), "fused at EOF");
+    }
+
+    #[test]
+    fn record_reader_matches_materialized_read() {
+        let input = "1 2 3\n4 5\n# c\n6\n";
+        let streamed: Vec<Record> = RecordReader::new(input.as_bytes())
+            .map(|r| r.unwrap())
+            .collect();
+        let dataset = read_numeric_transactions(input.as_bytes()).unwrap();
+        assert_eq!(streamed, dataset.records());
+    }
+
+    #[test]
+    fn record_reader_batches() {
+        let input = "1\n2\n3\n4\n5\n";
+        let mut reader = RecordReader::new(input.as_bytes());
+        assert_eq!(reader.next_batch(2).unwrap().len(), 2);
+        assert_eq!(reader.next_batch(2).unwrap().len(), 2);
+        assert_eq!(reader.next_batch(2).unwrap().len(), 1);
+        assert!(reader.next_batch(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_reader_reports_parse_errors_with_line() {
+        let mut reader = RecordReader::new("1\nbad token\n".as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap().unwrap_err() {
+            TransactError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    /// Regression test for the swallowed-flush bug: writing to `/dev/full`
+    /// succeeds into the `BufWriter` buffer, and only the final flush hits
+    /// ENOSPC.  Before the explicit `flush()`, the error was dropped in
+    /// `BufWriter::drop` and the write reported success.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn path_write_propagates_final_flush_errors() {
+        if !Path::new("/dev/full").exists() {
+            return; // minimal container without /dev/full
+        }
+        let dataset = read_numeric_transactions("1 2\n3\n".as_bytes()).unwrap();
+        let err = write_numeric_transactions_path(&dataset, "/dev/full");
+        assert!(err.is_err(), "ENOSPC on flush must be reported");
+        let (named, dict) = read_named_transactions("a b\nc\n".as_bytes()).unwrap();
+        assert!(write_named_transactions_path(&named, &dict, "/dev/full").is_err());
+    }
+
+    #[test]
+    fn named_path_roundtrip() {
+        let dir = std::env::temp_dir().join("transact_io_named_path_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("named.dat");
+        let (dataset, dict) = read_named_transactions("a b\nc\n".as_bytes()).unwrap();
+        write_named_transactions_path(&dataset, &dict, &path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a b\nc\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl Itemset {
     /// current members — the invariant used by the Apriori candidate
     /// generation).
     pub fn extended_with(&self, t: TermId) -> Itemset {
-        debug_assert!(self.0.last().map_or(true, |&last| last < t));
+        debug_assert!(self.0.last().is_none_or(|&last| last < t));
         let mut v = self.0.clone();
         v.push(t);
         Itemset(v)

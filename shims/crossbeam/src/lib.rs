@@ -49,7 +49,7 @@ where
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sums = std::sync::Mutex::new(0u64);
         super::scope(|scope| {
             for chunk in data.chunks(2) {

@@ -324,6 +324,9 @@ macro_rules! __proptest_impl {
                 let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
                 for __case in 0..__cfg.cases {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    // The immediately-called closure gives `prop_assume!` a
+                    // scope to early-return out of.
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::core::result::Result<(), $crate::TestCaseReject> = (|| {
                         $body
                         ::core::result::Result::Ok(())

@@ -327,7 +327,7 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        map_pairs(v)?.map(|kv| kv.map(|(k, v)| (k, v))).collect()
+        map_pairs(v)?.collect()
     }
 }
 
