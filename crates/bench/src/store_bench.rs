@@ -22,9 +22,14 @@ pub fn bench_store(scale: usize) -> ExperimentReport {
         scale,
     );
 
-    let dir = std::env::temp_dir().join("disassoc_bench_store");
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
+    // Pid-suffixed so concurrent bench/test invocations don't clobber each
+    // other's store; the guard removes it even if the run panics (a fixed
+    // name would self-clean on the next run, a pid-suffixed one never
+    // recurs).
+    let guard = TempDir::create(
+        std::env::temp_dir().join(format!("disassoc_bench_store_{}", std::process::id())),
+    );
+    let dir = guard.path.clone();
     let file = dir.join("data.dat");
     transact::io::write_numeric_transactions_path(&workload.dataset, &file)
         .expect("writing the workload file");
@@ -86,12 +91,32 @@ pub fn bench_store(scale: usize) -> ExperimentReport {
     );
     report.add_series(compaction);
 
-    std::fs::remove_dir_all(&dir).ok();
+    drop(store);
     report
 }
 
 fn mb(bytes: u64) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Removes its directory on drop, so an interrupted bench run does not leak
+/// a pid-suffixed directory under the system temp dir.
+struct TempDir {
+    path: std::path::PathBuf,
+}
+
+impl TempDir {
+    fn create(path: std::path::PathBuf) -> Self {
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
 }
 
 #[cfg(test)]

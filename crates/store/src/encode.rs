@@ -76,7 +76,11 @@ pub fn read_record<R: Read>(input: &mut R) -> Result<Record> {
     if count > u64::from(u32::MAX) {
         return Err(StoreError::corrupt("record length overflows u32"));
     }
-    let mut terms = Vec::with_capacity(count as usize);
+    // The count is untrusted (a flipped byte can claim u32::MAX terms):
+    // cap the pre-allocation and let push() grow — each claimed term
+    // costs at least one input byte, so a lying count hits a truncation
+    // error long before memory does.
+    let mut terms = Vec::with_capacity((count as usize).min(64 * 1024));
     let mut prev: u64 = 0;
     for i in 0..count {
         let v = read_varint(input)?;
@@ -217,6 +221,17 @@ mod tests {
 
     fn rec(ids: &[u32]) -> Record {
         Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    /// A corrupt record header claiming u32::MAX terms must surface as a
+    /// truncation error, not attempt a multi-GiB pre-allocation (which would
+    /// abort the process on failure, bypassing `StoreError::Corrupt`).
+    #[test]
+    fn lying_record_count_is_rejected_without_huge_allocation() {
+        let mut buf = Vec::new();
+        write_varint(u64::from(u32::MAX), &mut buf).unwrap();
+        let err = read_record(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
     }
 
     #[test]

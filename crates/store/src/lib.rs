@@ -73,6 +73,13 @@ pub enum StoreError {
         /// What went wrong.
         message: String,
     },
+    /// The store directory is held by another live [`Store`] (possibly in
+    /// another process).  Opening would run destructive recovery — orphan
+    /// deletion, WAL truncation — under the holder's feet.
+    Locked {
+        /// The contended store directory.
+        dir: String,
+    },
 }
 
 impl StoreError {
@@ -94,6 +101,13 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Corrupt { file, message } => {
                 write!(f, "corrupt store file {file}: {message}")
+            }
+            StoreError::Locked { dir } => {
+                write!(
+                    f,
+                    "store directory {dir} is in use by another process \
+                     (close it or wait for it to finish)"
+                )
             }
         }
     }
@@ -173,10 +187,17 @@ impl StoreInfo {
     }
 }
 
+/// File name of the advisory lock inside a store directory.
+pub const LOCK_FILE: &str = "LOCK";
+
 /// The persistent record store.
 ///
-/// Not internally synchronized: one `Store` value owns the directory.  Scans
-/// borrow the store immutably; writes need `&mut self`.
+/// Not internally synchronized: one `Store` value owns the directory,
+/// enforced across processes by an advisory lock on `dir/LOCK` taken at
+/// [`Store::open`] and released when the `Store` is dropped (or its process
+/// exits, however abruptly — the OS releases advisory locks with the file
+/// handle, so a crash never leaves the directory stuck).  Scans borrow the
+/// store immutably; writes need `&mut self`.
 pub struct Store {
     pub(crate) dir: PathBuf,
     pub(crate) config: StoreConfig,
@@ -184,22 +205,41 @@ pub struct Store {
     wal: wal::Wal,
     pub(crate) memtable: Vec<Record>,
     recovered_records: u64,
+    /// Held for the lifetime of the store; dropping releases the lock.
+    _lock: File,
 }
 
 impl Store {
     /// Opens (creating if necessary) the store in `dir`, recovering any
     /// interrupted ingest: orphaned segment files are deleted and intact WAL
     /// entries not yet sealed into a segment are replayed into the memtable.
+    ///
+    /// Fails with [`StoreError::Locked`] if another live `Store` — in this
+    /// or any other process — holds the directory: recovery is destructive
+    /// (orphan deletion, WAL truncation), so even read-only consumers must
+    /// wait for the holder to close.
     pub fn open<P: AsRef<Path>>(dir: P, config: StoreConfig) -> Result<Store> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let lock = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(dir.join(LOCK_FILE))?;
+        lock.try_lock().map_err(|e| match e {
+            std::fs::TryLockError::WouldBlock => StoreError::Locked {
+                dir: dir.display().to_string(),
+            },
+            std::fs::TryLockError::Error(io) => StoreError::Io(io),
+        })?;
         let manifest = Manifest::load(&dir)?;
         manifest.remove_orphans(&dir)?;
 
         let mut memtable = Vec::new();
         let mut recovered = 0u64;
         let persisted = manifest.records_in_segments;
-        for entry in wal::replay(&dir)? {
+        let replayed = wal::replay(&dir)?;
+        for entry in replayed.entries {
             let end = entry.ordinal + entry.records.len() as u64;
             if end <= persisted {
                 continue; // sealed into a segment before the crash
@@ -210,6 +250,10 @@ impl Store {
             recovered += (entry.records.len() - skip) as u64;
             memtable.extend(entry.records.into_iter().skip(skip));
         }
+        // Drop any torn tail before reopening for append: replay stops at
+        // the first invalid entry, so anything written after the garbage
+        // bytes would be acknowledged yet unreachable on the next open.
+        wal::truncate_to(&dir, replayed.valid_bytes)?;
         let wal = wal::Wal::open(&dir)?;
         Ok(Store {
             dir,
@@ -218,6 +262,7 @@ impl Store {
             wal,
             memtable,
             recovered_records: recovered,
+            _lock: lock,
         })
     }
 
@@ -252,6 +297,10 @@ impl Store {
     }
 
     /// Appends a batch of records as one WAL entry.
+    ///
+    /// On return the batch is in the WAL flushed to OS buffers: it survives
+    /// a process crash, but not necessarily a power failure or kernel panic.
+    /// Call [`Store::flush`] to establish durability against machine failure.
     pub fn append_batch(&mut self, records: &[Record]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
@@ -450,6 +499,33 @@ mod tests {
     }
 
     #[test]
+    fn appends_after_torn_tail_recovery_survive_the_next_crash() {
+        let dir = tmpdir("torn_tail_appends");
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut store = Store::open(&dir, small_config(100)).unwrap();
+            store.append(rec(&[1])).unwrap(); // intact WAL entry
+            store.append(rec(&[2])).unwrap(); // will be torn
+        }
+        // Simulate a partial write of the last entry.
+        let wal_path = dir.join(wal::WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 1]).unwrap();
+        {
+            let mut store = Store::open(&dir, small_config(100)).unwrap();
+            assert_eq!(store.recovered_records(), 1, "the torn entry is lost");
+            // These appends are acknowledged; they must survive another
+            // crash (store dropped without flush) and reopen.
+            store.append(rec(&[3])).unwrap();
+            store.append(rec(&[4])).unwrap();
+        }
+        let store = Store::open(&dir, small_config(100)).unwrap();
+        assert_eq!(store.recovered_records(), 3);
+        assert_eq!(collect(&store, 10), vec![rec(&[1]), rec(&[3]), rec(&[4])]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn compaction_merges_small_segments_and_preserves_order() {
         let dir = tmpdir("compact");
         let mut store = Store::open(&dir, small_config(2)).unwrap();
@@ -466,6 +542,7 @@ mod tests {
         assert!(stats.amplification() > 0.0);
         assert_eq!(collect(&store, 5), records);
         // The replaced files are gone; reopen agrees.
+        drop(store);
         let reopened = Store::open(&dir, small_config(2)).unwrap();
         assert_eq!(collect(&reopened, 5), records);
         assert_eq!(reopened.manifest.segments.len(), 1);
@@ -521,6 +598,20 @@ mod tests {
         let info = store.info().unwrap();
         assert_eq!(info.records, 0);
         assert_eq!(info.terms.min_term, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_is_refused_while_the_store_is_live() {
+        let dir = tmpdir("locked");
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        let err = Store::open(&dir, StoreConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Locked { .. }), "{err:?}");
+        drop(store);
+        // Dropping the holder releases the lock.
+        Store::open(&dir, StoreConfig::default()).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -88,9 +88,13 @@ pub struct SegmentMeta {
 }
 
 impl SegmentMeta {
-    /// Total file size implied by the footer.
-    pub fn file_len(&self) -> u64 {
-        SEGMENT_MAGIC.len() as u64 + self.data_len + self.index_len + FOOTER_LEN
+    /// Total file size implied by the footer, or `None` when the untrusted
+    /// length fields overflow — a corrupt footer must be rejected, not
+    /// wrapped (release) or panicked on (debug).
+    pub fn file_len(&self) -> Option<u64> {
+        (SEGMENT_MAGIC.len() as u64 + FOOTER_LEN)
+            .checked_add(self.data_len)?
+            .checked_add(self.index_len)
     }
 }
 
@@ -236,14 +240,15 @@ pub fn read_footer(file: &mut File, path: &Path) -> Result<SegmentMeta> {
         },
         crc,
     };
-    if meta.file_len() != len {
-        return Err(corrupt(
-            path,
-            format!(
-                "footer lengths disagree with file size ({} vs {len})",
-                meta.file_len()
-            ),
-        ));
+    match meta.file_len() {
+        Some(expected) if expected == len => {}
+        Some(expected) => {
+            return Err(corrupt(
+                path,
+                format!("footer lengths disagree with file size ({expected} vs {len})"),
+            ))
+        }
+        None => return Err(corrupt(path, "footer lengths overflow the file size")),
     }
     Ok(meta)
 }
@@ -456,6 +461,22 @@ mod tests {
                 .collect();
             assert_eq!(got, records[start as usize..], "start {start}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overflowing_footer_lengths_are_rejected_not_wrapped() {
+        let dir = tmpdir("overflow");
+        let path = dir.join("s.seg");
+        write_segment(&path, &[rec(&[1, 2, 3]), rec(&[4, 5])], 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Patch the footer's data_len (first footer field) to u64::MAX: the
+        // implied file size must be rejected as corrupt, not overflow.
+        let off = bytes.len() - FOOTER_LEN as usize;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Segment::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

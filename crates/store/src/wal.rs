@@ -27,7 +27,7 @@
 use crate::encode::{read_record, write_record, write_varint, Crc32};
 use crate::{Result, StoreError};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use transact::Record;
 
@@ -46,8 +46,9 @@ pub struct WalEntry {
 /// An open write-ahead log (append side).
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: File,
     bytes: u64,
+    poisoned: bool,
 }
 
 impl Wal {
@@ -58,35 +59,60 @@ impl Wal {
         let bytes = file.metadata()?.len();
         Ok(Wal {
             path,
-            writer: BufWriter::new(file),
+            file,
             bytes,
+            poisoned: false,
         })
     }
 
     /// Appends one batch and flushes it to the OS.  `ordinal` is the
     /// store-wide ordinal of the first record.
+    ///
+    /// The flush only reaches OS buffers, so an appended batch survives a
+    /// *process* crash but may be lost on power failure or kernel panic.
+    /// Durability against machine failure is established at [`Wal::sync`]
+    /// (which `Store::flush` calls).
+    ///
+    /// An entry is written with a single `write_all`; if that fails the file
+    /// is cut back to the last known-good length, so retrying the batch
+    /// cannot complete a phantom half-entry and duplicate records on replay.
+    /// If the rollback itself fails the log is poisoned and refuses further
+    /// appends (replay would otherwise silently stop at the half-entry).
     pub fn append_batch(&mut self, ordinal: u64, records: &[Record]) -> Result<()> {
-        let mut payload = Vec::with_capacity(16 + records.len() * 8);
-        payload.extend_from_slice(&ordinal.to_le_bytes());
-        write_varint(records.len() as u64, &mut payload)?;
-        for r in records {
-            write_record(r, &mut payload)?;
+        if self.poisoned {
+            return Err(StoreError::corrupt(
+                "WAL poisoned by an earlier failed append rollback or \
+                 truncate; reopen the store to recover",
+            ));
         }
-        let len = u32::try_from(payload.len())
+        // One buffer for header + payload: encode after an 8-byte
+        // placeholder, then patch len/crc in, avoiding a second copy of the
+        // payload on the hot ingest path.
+        let mut entry = Vec::with_capacity(24 + records.len() * 8);
+        entry.resize(8, 0);
+        entry.extend_from_slice(&ordinal.to_le_bytes());
+        write_varint(records.len() as u64, &mut entry)?;
+        for r in records {
+            write_record(r, &mut entry)?;
+        }
+        let len = u32::try_from(entry.len() - 8)
             .map_err(|_| StoreError::corrupt("WAL batch exceeds 4 GiB"))?;
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer
-            .write_all(&Crc32::checksum(&payload).to_le_bytes())?;
-        self.writer.write_all(&payload)?;
-        self.writer.flush()?;
-        self.bytes += 8 + u64::from(len);
+        let crc = Crc32::checksum(&entry[8..]);
+        entry[..4].copy_from_slice(&len.to_le_bytes());
+        entry[4..8].copy_from_slice(&crc.to_le_bytes());
+        if let Err(e) = self.file.write_all(&entry) {
+            if self.file.set_len(self.bytes).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.bytes += entry.len() as u64;
         Ok(())
     }
 
     /// Forces the log contents to stable storage.
     pub fn sync(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_all()?;
+        self.file.sync_all()?;
         Ok(())
     }
 
@@ -97,29 +123,66 @@ impl Wal {
 
     /// Truncates the log after a memtable spill: its contents are now
     /// persisted in a sealed segment referenced by the manifest.
+    ///
+    /// On failure the log is poisoned: the file's real length no longer
+    /// matches `self.bytes`, so a later append's rollback would cut (or
+    /// zero-extend) to the wrong offset — appending blind could strand
+    /// acknowledged entries behind garbage.  The poison is permanent for
+    /// this handle (refused appends leave nothing to spill, so no further
+    /// truncate runs); reopening the store recovers, since `Store::open`
+    /// replays the intact prefix and truncates the file to match.
     pub fn truncate(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        let file = self.writer.get_ref();
-        file.set_len(0)?;
-        file.sync_all()?;
-        // Reopen in append mode so the write cursor returns to offset 0
-        // (set_len does not move an append-mode cursor on every platform).
-        let file = OpenOptions::new().append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
-        self.bytes = 0;
-        Ok(())
+        let result = (|| -> Result<()> {
+            self.file.set_len(0)?;
+            self.file.sync_all()?;
+            // Reopen in append mode so the write cursor returns to offset 0
+            // (set_len does not move an append-mode cursor on every
+            // platform).
+            self.file = OpenOptions::new().append(true).open(&self.path)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.bytes = 0;
+                self.poisoned = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 }
 
-/// Replays `dir/wal.log`, returning every intact entry in order.
+/// The result of [`replay`]: the intact entries plus the length of the valid
+/// prefix that holds them.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every intact entry, in append order.
+    pub entries: Vec<WalEntry>,
+    /// Byte offset of the end of the last intact entry.  Everything past it
+    /// is a torn or corrupt tail; recovery must truncate the log to this
+    /// offset (see [`truncate_to`]) before appending again, or new entries
+    /// land after the garbage bytes and are unreachable by the next replay.
+    pub valid_bytes: u64,
+}
+
+/// Replays `dir/wal.log`, returning every intact entry in order plus the
+/// byte length of the valid prefix.
 ///
 /// A torn or corrupt tail is discarded; everything before it is returned.
 /// A missing file replays to an empty list.
-pub fn replay(dir: &Path) -> Result<Vec<WalEntry>> {
+pub fn replay(dir: &Path) -> Result<Replay> {
     let path = dir.join(WAL_FILE);
     let mut file = match File::open(&path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                entries: Vec::new(),
+                valid_bytes: 0,
+            })
+        }
         Err(e) => return Err(e.into()),
     };
     let mut bytes = Vec::new();
@@ -144,7 +207,27 @@ pub fn replay(dir: &Path) -> Result<Vec<WalEntry>> {
         }
         pos = payload_end;
     }
-    Ok(entries)
+    Ok(Replay {
+        entries,
+        valid_bytes: pos as u64,
+    })
+}
+
+/// Truncates `dir/wal.log` to `len` bytes, dropping the torn or corrupt tail
+/// identified by [`replay`] so that subsequent appends land immediately after
+/// the valid prefix.  A missing file is a no-op.
+pub fn truncate_to(dir: &Path, len: u64) -> Result<()> {
+    let path = dir.join(WAL_FILE);
+    let file = match OpenOptions::new().write(true).open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    if file.metadata()?.len() > len {
+        file.set_len(len)?;
+        file.sync_all()?;
+    }
+    Ok(())
 }
 
 fn decode_entry(payload: &[u8]) -> Result<WalEntry> {
@@ -154,7 +237,10 @@ fn decode_entry(payload: &[u8]) -> Result<WalEntry> {
     let ordinal = u64::from_le_bytes(payload[..8].try_into().unwrap());
     let mut cursor = &payload[8..];
     let count = crate::encode::read_varint(&mut cursor)?;
-    let mut records = Vec::with_capacity(count as usize);
+    // Untrusted count (same hardening as `encode::read_record`): cap the
+    // pre-allocation — a lying count runs out of payload bytes long before
+    // memory.
+    let mut records = Vec::with_capacity((count as usize).min(64 * 1024));
     for _ in 0..count {
         records.push(read_record(&mut cursor)?);
     }
@@ -187,19 +273,24 @@ mod tests {
         wal.append_batch(0, &[rec(&[1, 2]), rec(&[3])]).unwrap();
         wal.append_batch(2, &[rec(&[9])]).unwrap();
         wal.sync().unwrap();
+        let bytes = wal.bytes();
         drop(wal);
-        let entries = replay(&dir).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].ordinal, 0);
-        assert_eq!(entries[0].records, vec![rec(&[1, 2]), rec(&[3])]);
-        assert_eq!(entries[1].ordinal, 2);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.entries.len(), 2);
+        assert_eq!(replayed.entries[0].ordinal, 0);
+        assert_eq!(replayed.entries[0].records, vec![rec(&[1, 2]), rec(&[3])]);
+        assert_eq!(replayed.entries[1].ordinal, 2);
+        assert_eq!(replayed.valid_bytes, bytes, "the whole log is valid");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_file_replays_empty() {
         let dir = tmpdir("missing");
-        assert!(replay(&dir).unwrap().is_empty());
+        let replayed = replay(&dir).unwrap();
+        assert!(replayed.entries.is_empty());
+        assert_eq!(replayed.valid_bytes, 0);
+        truncate_to(&dir, 0).unwrap(); // no-op on a missing file
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -208,14 +299,49 @@ mod tests {
         let dir = tmpdir("torn");
         let mut wal = Wal::open(&dir).unwrap();
         wal.append_batch(0, &[rec(&[1])]).unwrap();
+        let first_entry_bytes = wal.bytes();
         wal.append_batch(1, &[rec(&[2, 3, 4])]).unwrap();
         drop(wal);
         let path = dir.join(WAL_FILE);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
-        let entries = replay(&dir).unwrap();
-        assert_eq!(entries.len(), 1, "only the intact first entry survives");
-        assert_eq!(entries[0].records, vec![rec(&[1])]);
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(
+            replayed.entries.len(),
+            1,
+            "only the intact first entry survives"
+        );
+        assert_eq!(replayed.entries[0].records, vec![rec(&[1])]);
+        assert_eq!(replayed.valid_bytes, first_entry_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncating_the_torn_tail_makes_later_appends_replayable() {
+        let dir = tmpdir("torn_then_append");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append_batch(0, &[rec(&[1])]).unwrap();
+        wal.append_batch(1, &[rec(&[2])]).unwrap();
+        drop(wal);
+        // Tear the second entry, then recover the way Store::open does:
+        // replay, truncate to the valid prefix, reopen, append.
+        let path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let replayed = replay(&dir).unwrap();
+        assert_eq!(replayed.entries.len(), 1);
+        truncate_to(&dir, replayed.valid_bytes).unwrap();
+        let mut wal = Wal::open(&dir).unwrap();
+        assert_eq!(wal.bytes(), replayed.valid_bytes);
+        wal.append_batch(1, &[rec(&[3])]).unwrap();
+        drop(wal);
+        let replayed = replay(&dir).unwrap();
+        let ordinals: Vec<u64> = replayed.entries.iter().map(|e| e.ordinal).collect();
+        assert_eq!(
+            ordinals,
+            vec![0, 1],
+            "the post-recovery append is reachable"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -231,8 +357,7 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
-        let entries = replay(&dir).unwrap();
-        assert_eq!(entries.len(), 1);
+        assert_eq!(replay(&dir).unwrap().entries.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -244,13 +369,52 @@ mod tests {
         assert!(wal.bytes() > 0);
         wal.truncate().unwrap();
         assert_eq!(wal.bytes(), 0);
-        assert!(replay(&dir).unwrap().is_empty());
+        assert!(replay(&dir).unwrap().entries.is_empty());
         // The log is still usable after truncation.
         wal.append_batch(5, &[rec(&[7])]).unwrap();
         drop(wal);
-        let entries = replay(&dir).unwrap();
+        let entries = replay(&dir).unwrap().entries;
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].ordinal, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A failed append must not leave a phantom half-entry that a retry
+    /// could complete (duplicating the batch on replay).  `/dev/full` makes
+    /// both the entry write and the rollback `set_len` fail, so this
+    /// exercises the poison path: further appends refuse outright.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn failed_append_rolls_back_or_poisons() {
+        if !Path::new("/dev/full").exists() {
+            return; // minimal container without /dev/full
+        }
+        let dir = tmpdir("enospc");
+        std::os::unix::fs::symlink("/dev/full", dir.join(WAL_FILE)).unwrap();
+        let mut wal = Wal::open(&dir).unwrap();
+        let err = wal.append_batch(0, &[rec(&[1])]).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        assert_eq!(wal.bytes(), 0, "a failed append does not advance the log");
+        let err = wal.append_batch(0, &[rec(&[1])]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A failed truncate leaves `bytes` out of step with the file, so the
+    /// log must refuse further appends rather than roll back to a wrong
+    /// offset later.  `set_len` fails on the `/dev/full` device.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn failed_truncate_poisons_the_log() {
+        if !Path::new("/dev/full").exists() {
+            return; // minimal container without /dev/full
+        }
+        let dir = tmpdir("truncfail");
+        std::os::unix::fs::symlink("/dev/full", dir.join(WAL_FILE)).unwrap();
+        let mut wal = Wal::open(&dir).unwrap();
+        assert!(wal.truncate().is_err());
+        let err = wal.append_batch(0, &[rec(&[1])]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -260,7 +424,7 @@ mod tests {
         let mut wal = Wal::open(&dir).unwrap();
         wal.append_batch(3, &[]).unwrap();
         drop(wal);
-        let entries = replay(&dir).unwrap();
+        let entries = replay(&dir).unwrap().entries;
         assert_eq!(entries.len(), 1);
         assert!(entries[0].records.is_empty());
         std::fs::remove_dir_all(&dir).ok();

@@ -155,6 +155,7 @@ fn double_reopen_is_stable() {
     // And ingestion continues cleanly after recovery.
     store.append(rec(&[999])).unwrap();
     store.flush().unwrap();
+    drop(store);
     let reopened = Store::open(&dir, config(8)).unwrap();
     assert_eq!(reopened.len(), 31);
     std::fs::remove_dir_all(&dir).ok();
