@@ -27,12 +27,13 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("disassociation", |b| {
         b.iter(|| {
-            Disassociator::new(DisassociationConfig {
+            Disassociator::try_new(DisassociationConfig {
                 k: 5,
                 m: 2,
                 parallel: false,
                 ..Default::default()
             })
+            .expect("valid disassociation configuration")
             .anonymize(&dataset)
         })
     });

@@ -95,12 +95,13 @@ fn bench_end_to_end(c: &mut Criterion) {
         let dataset = workload(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &dataset, |b, d| {
             b.iter(|| {
-                Disassociator::new(DisassociationConfig {
+                Disassociator::try_new(DisassociationConfig {
                     k: 5,
                     m: 2,
                     parallel: false,
                     ..Default::default()
                 })
+                .expect("valid disassociation configuration")
                 .anonymize(d)
             })
         });

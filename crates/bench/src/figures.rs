@@ -25,11 +25,12 @@ pub const PAPER_K: usize = 5;
 pub const PAPER_M: usize = 2;
 
 fn anonymize(dataset: &Dataset, k: usize, m: usize) -> disassociation::DisassociationOutput {
-    Disassociator::new(DisassociationConfig {
+    Disassociator::try_new(DisassociationConfig {
         k,
         m,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(dataset)
 }
 

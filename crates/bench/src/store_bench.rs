@@ -5,6 +5,8 @@
 use crate::experiment::{ExperimentReport, Series};
 use crate::workloads::quest_scaled;
 use disassoc_store::{Store, StoreConfig};
+use disassociation::pipeline::{JsonChunksSink, Pipeline};
+use disassociation::DisassociationConfig;
 use std::time::Instant;
 use transact::io::RecordReader;
 
@@ -77,6 +79,48 @@ pub fn bench_store(scale: usize) -> ExperimentReport {
     scan.push("MB_per_s", mb(info.segment_bytes()) / scan_secs.max(1e-9));
     report.add_series(scan);
 
+    // Out-of-core anonymization: the store-backed pipeline with 1 worker vs
+    // one per core, publishing through the streaming chunk sink (into the
+    // void — this measures the pipeline, not the disk).  Output is
+    // byte-identical across thread counts; only the wall clock moves.
+    let config = DisassociationConfig {
+        k: 5,
+        m: 2,
+        seed: 7,
+        ..Default::default()
+    };
+    // At least two workers so the pool path is always exercised; on a
+    // single-core host the speedup honestly reports ≈ 1.0 (pure overhead).
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(2);
+    let mut pipeline = Series::new("pipeline");
+    let seconds_for = |n: usize| {
+        let mut source = store.source(2048);
+        let mut sink = JsonChunksSink::numeric(std::io::sink(), &config);
+        let started = Instant::now();
+        let summary = Pipeline::new(config.clone())
+            .source(&mut source)
+            .sink(&mut sink)
+            .threads(n)
+            .run()
+            .expect("store-backed pipeline run");
+        assert_eq!(summary.records, records);
+        started.elapsed().as_secs_f64()
+    };
+    let serial_secs = seconds_for(1);
+    let parallel_secs = seconds_for(threads);
+    pipeline.push("threads", threads as f64);
+    pipeline.push("serial_s", serial_secs);
+    pipeline.push("parallel_s", parallel_secs);
+    pipeline.push("speedup", serial_secs / parallel_secs.max(1e-9));
+    pipeline.push(
+        "records_per_s_parallel",
+        records as f64 / parallel_secs.max(1e-9),
+    );
+    report.add_series(pipeline);
+
     // Compaction: merge the spill-sized segments, record the write cost.
     let started = Instant::now();
     let stats = store.compact().expect("compacting the store");
@@ -129,7 +173,7 @@ mod tests {
         let report = bench_store(1000);
         assert_eq!(report.id, "BENCH_store");
         let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["ingest", "scan", "compaction"]);
+        assert_eq!(names, vec!["ingest", "scan", "pipeline", "compaction"]);
         for series in &report.series {
             for (x, y) in &series.points {
                 assert!(y.is_finite(), "{x} not finite");

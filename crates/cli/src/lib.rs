@@ -12,6 +12,13 @@
 //! disassoc evaluate  --input data.dat --k 5 --m 2
 //! ```
 //!
+//! Every anonymization arm routes through the unified
+//! [`disassociation::pipeline::Pipeline`] API — a [`RecordSource`] per input
+//! kind (file, store, in-memory), a [`ChunkSink`] per output, `--threads N`
+//! for parallel batch execution — and errors stay typed end to end:
+//! [`CliError`] preserves the cause chain, usage errors exit with status 2,
+//! runtime (I/O, store, pipeline) errors with status 1.
+//!
 //! The argument parser is hand-rolled (the offline crate set has no CLI
 //! parser); [`Command::parse`] is exercised directly by the unit tests.
 
@@ -20,11 +27,14 @@
 
 use datagen::{QuestConfig, QuestGenerator, RealDataset};
 use disassoc_store::{Store, StoreConfig};
-use disassociation::{reconstruct_many, stream, DisassociationConfig, DisassociationOutput};
+use disassociation::pipeline::{
+    ChunkSink, CollectSink, DatasetSource, JsonChunksSink, Pipeline, ReaderSource, RecordSource,
+    RunSummary,
+};
+use disassociation::{reconstruct_many, ConfigError, DisassociationConfig, DisassociationOutput};
 use metrics::{InformationLoss, LossConfig};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use transact::io::RecordReader;
 use transact::{Dataset, DatasetStats, Record};
 
 /// A parsed command line.
@@ -69,6 +79,8 @@ pub enum Command {
         max_cluster_size: usize,
         /// Disable the refining step.
         no_refine: bool,
+        /// Batches anonymized concurrently (1 = serial, 0 = one per core).
+        threads: usize,
         /// Output prefix (writes `<prefix>.chunks.json`).
         out_prefix: PathBuf,
     },
@@ -113,40 +125,120 @@ pub enum Command {
         k: usize,
         /// Privacy parameter m.
         m: usize,
+        /// Batches anonymized concurrently (1 = serial, 0 = one per core).
+        threads: usize,
     },
     /// Print usage information.
     Help,
 }
 
-/// A CLI error (bad arguments or I/O problems).
+/// A CLI failure, split by who must act: [`CliError::Usage`] /
+/// [`CliError::Config`] mean the command line was wrong (exit status 2),
+/// everything else is a runtime failure (exit status 1).
+///
+/// Causes are preserved — [`std::error::Error::source`] walks from the CLI
+/// wrapper down to the original I/O/parse/store error, and `main` prints the
+/// whole chain as `caused by:` lines.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// Bad arguments: unknown flag/subcommand, missing value, bad integer.
+    Usage(String),
+    /// Invalid privacy parameters (`--k`, `--m`).
+    Config(ConfigError),
+    /// An I/O failure outside the pipeline (writing reports, reading JSON).
+    Io(std::io::Error),
+    /// A dataset file could not be read or written.
+    Transact(transact::TransactError),
+    /// The persistent store failed.
+    Store(disassoc_store::StoreError),
+    /// A chunk file could not be parsed.
+    Json(serde_json::Error),
+    /// A pipeline run failed (source, sink or configuration).
+    Pipeline(disassociation::Error),
+}
+
+impl CliError {
+    /// The process exit status this error calls for: 2 for usage errors
+    /// (bad flags, invalid parameters), 1 for runtime failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) | CliError::Config(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Renders the error and its full cause chain (`caused by:` lines).
+    pub fn render_chain(&self) -> String {
+        disassociation::error::render_chain(self)
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Config(e) => write!(f, "invalid privacy parameters: {e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Transact(e) => write!(f, "{e}"),
+            CliError::Store(e) => write!(f, "{e}"),
+            CliError::Json(e) => write!(f, "invalid JSON: {e}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
     }
 }
-impl std::error::Error for CliError {}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Each variant's Display already shows the wrapped error's own line,
+        // so the next hop in the chain is that error's cause.
+        match self {
+            CliError::Usage(_) | CliError::Config(_) | CliError::Json(_) => None,
+            CliError::Io(e) => e.source(),
+            CliError::Transact(e) => e.source(),
+            CliError::Store(e) => e.source(),
+            CliError::Pipeline(e) => e.source(),
+        }
+    }
+}
 
 impl From<transact::TransactError> for CliError {
     fn from(e: transact::TransactError) -> Self {
-        CliError(e.to_string())
+        CliError::Transact(e)
     }
 }
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(e.to_string())
+        CliError::Io(e)
     }
 }
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
-        CliError(e.to_string())
+        CliError::Json(e)
     }
 }
 impl From<disassoc_store::StoreError> for CliError {
     fn from(e: disassoc_store::StoreError) -> Self {
-        CliError(e.to_string())
+        CliError::Store(e)
+    }
+}
+impl From<disassociation::Error> for CliError {
+    fn from(e: disassociation::Error) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+impl From<disassociation::SourceError> for CliError {
+    fn from(e: disassociation::SourceError) -> Self {
+        CliError::Pipeline(disassociation::Error::Source(e))
+    }
+}
+impl From<disassociation::SinkError> for CliError {
+    fn from(e: disassociation::SinkError) -> Self {
+        CliError::Pipeline(disassociation::Error::Sink(e))
     }
 }
 
@@ -161,15 +253,23 @@ USAGE:
                       [--memtable N] [--compact]
   disassoc store-info --store DIR
   disassoc anonymize  (--input FILE | --store DIR) --k K --m M
-                      [--batch-size N] [--max-cluster-size N]
+                      [--batch-size N] [--max-cluster-size N] [--threads N]
                       [--no-refine] --out-prefix PREFIX
   disassoc reconstruct --chunks FILE.chunks.json --out FILE [--samples N] [--seed N]
-  disassoc evaluate   (--input FILE | --store DIR) --k K --m M [--batch-size N]
+  disassoc evaluate   (--input FILE | --store DIR) --k K --m M
+                      [--batch-size N] [--threads N]
   disassoc help
 
 Store-backed runs stream the dataset in batches (out-of-core anonymization):
 `--batch-size 0` keeps file input monolithic and selects the default batch
-(8192 records) for store input.
+(8192 records) for store input.  `--threads N` anonymizes up to N batches
+concurrently (0 = one per core) with byte-identical output, and the chunk
+file is streamed to disk batch by batch, so neither input nor output
+residency grows with the dataset.
+
+Exit status: 2 for usage errors (bad flags or privacy parameters), 1 for
+runtime failures (I/O, corrupt store, failed pipeline) — printed with their
+full `caused by:` chain.
 ";
 
 /// Default batch size for store-backed streaming runs.
@@ -184,15 +284,15 @@ impl Command {
         let flags = parse_flags(&rest)?;
         let get = |name: &str| flags.get(name).cloned();
         let req = |name: &str| {
-            get(name).ok_or_else(|| CliError(format!("missing required flag --{name}")))
+            get(name).ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
         };
         let parse_usize = |name: &str, v: &str| {
             v.parse::<usize>()
-                .map_err(|_| CliError(format!("--{name} expects an integer, got {v:?}")))
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got {v:?}")))
         };
         let parse_u64 = |name: &str, v: &str| {
             v.parse::<u64>()
-                .map_err(|_| CliError(format!("--{name} expects an integer, got {v:?}")))
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got {v:?}")))
         };
         match sub {
             "generate" => Ok(Command::Generate {
@@ -202,7 +302,7 @@ impl Command {
                 avg_len: get("avg-len")
                     .unwrap_or_else(|| "10".into())
                     .parse()
-                    .map_err(|_| CliError("--avg-len expects a number".into()))?,
+                    .map_err(|_| CliError::Usage("--avg-len expects a number".into()))?,
                 scale: parse_usize("scale", &get("scale").unwrap_or_else(|| "100".into()))?,
                 seed: parse_u64("seed", &get("seed").unwrap_or_else(|| "42".into()))?,
                 out: PathBuf::from(req("out")?),
@@ -226,6 +326,7 @@ impl Command {
                         &get("max-cluster-size").unwrap_or_else(|| "0".into()),
                     )?,
                     no_refine: flags.contains_key("no-refine"),
+                    threads: parse_usize("threads", &get("threads").unwrap_or_else(|| "1".into()))?,
                     out_prefix: PathBuf::from(req("out-prefix")?),
                 })
             }
@@ -262,10 +363,13 @@ impl Command {
                     )?,
                     k: parse_usize("k", &req("k")?)?,
                     m: parse_usize("m", &req("m")?)?,
+                    threads: parse_usize("threads", &get("threads").unwrap_or_else(|| "1".into()))?,
                 })
             }
             "help" | "--help" | "-h" => Ok(Command::Help),
-            other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+            other => Err(CliError::Usage(format!(
+                "unknown subcommand {other:?}\n{USAGE}"
+            ))),
         }
     }
 
@@ -294,13 +398,15 @@ impl Command {
                             seed: *seed,
                             ..QuestConfig::default()
                         };
-                        config.validate().map_err(CliError)?;
+                        config.validate().map_err(CliError::Usage)?;
                         QuestGenerator::generate_with(config)
                     }
                     "pos" => RealDataset::Pos.generate_scaled(*scale),
                     "wv1" => RealDataset::Wv1.generate_scaled(*scale),
                     "wv2" => RealDataset::Wv2.generate_scaled(*scale),
-                    other => return Err(CliError(format!("unknown dataset kind {other:?}"))),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown dataset kind {other:?}")))
+                    }
                 };
                 transact::io::write_numeric_transactions_path(&dataset, path)?;
                 writeln!(
@@ -331,6 +437,7 @@ impl Command {
                 m,
                 max_cluster_size,
                 no_refine,
+                threads,
                 out_prefix,
             } => {
                 let config = DisassociationConfig {
@@ -340,23 +447,42 @@ impl Command {
                     enable_refine: !no_refine,
                     ..Default::default()
                 };
-                config.validate().map_err(CliError)?;
-                let output = run_streaming_anonymize(
-                    input.as_deref(),
-                    store.as_deref(),
-                    *batch_size,
-                    &config,
-                )?;
+                config.validate()?;
                 let chunks_path = out_prefix.with_extension("chunks.json");
-                std::fs::write(&chunks_path, serde_json::to_vec_pretty(&output.dataset)?)?;
+                // The chunk file is streamed batch by batch: together with
+                // the chunked sources this bounds BOTH original-record and
+                // published-chunk residency by the batch size, not the
+                // dataset size.  The stream goes to a `.partial` sibling
+                // that replaces `chunks_path` only after a successful run:
+                // a failed run never destroys an existing publication, a
+                // missing input leaves no stray output at all (the sink is
+                // created only after the source opened), and an aborted
+                // partial file is removed rather than left looking valid.
+                let partial_path = out_prefix.with_extension("chunks.json.partial");
+                let mut stats = None;
+                let result = with_source(input.as_deref(), store.as_deref(), *batch_size, |src| {
+                    let mut sink = JsonChunksSink::create(&partial_path, &config)?;
+                    let summary = run_pipeline(&config, src, &mut sink, *threads)?;
+                    stats = Some(*sink.stats());
+                    Ok(summary)
+                });
+                let summary = match result {
+                    Ok(summary) => summary,
+                    Err(e) => {
+                        std::fs::remove_file(&partial_path).ok();
+                        return Err(e);
+                    }
+                };
+                std::fs::rename(&partial_path, &chunks_path)?;
+                let stats = stats.expect("a successful run records its stats");
                 writeln!(
                     out,
                     "anonymized {} records into {} simple clusters ({} record chunks, {} shared chunks) in {:.2}s",
-                    output.dataset.total_records(),
-                    output.dataset.simple_clusters().len(),
-                    output.dataset.num_record_chunks(),
-                    output.dataset.shared_chunks().len(),
-                    output.total_seconds()
+                    summary.records,
+                    stats.simple_clusters,
+                    stats.record_chunks,
+                    stats.shared_chunks,
+                    stats.total_seconds()
                 )?;
                 writeln!(out, "published chunks: {}", chunks_path.display())?;
                 Ok(())
@@ -384,12 +510,8 @@ impl Command {
                     )?;
                 }
                 let before = st.len();
-                let mut reader = RecordReader::open(input)?;
-                loop {
-                    let batch = reader.next_batch((*batch_size).max(1))?;
-                    if batch.is_empty() {
-                        break;
-                    }
+                let mut reader = ReaderSource::open(input, (*batch_size).max(1))?;
+                while let Some(batch) = reader.next_batch()? {
                     st.append_batch(&batch)?;
                 }
                 st.flush()?;
@@ -473,13 +595,14 @@ impl Command {
                 batch_size,
                 k,
                 m,
+                threads,
             } => {
                 let config = DisassociationConfig {
                     k: *k,
                     m: *m,
                     ..Default::default()
                 };
-                config.validate().map_err(CliError)?;
+                config.validate()?;
                 // The loss metrics compare against the original records, so
                 // `evaluate` materializes the dataset regardless of source
                 // (it is an offline analysis tool, not the ingest path).
@@ -488,8 +611,9 @@ impl Command {
                     (None, Some(dir)) => {
                         let st = open_existing_store(dir)?;
                         let mut records: Vec<Record> = Vec::new();
-                        for batch in st.scan(DEFAULT_STORE_BATCH) {
-                            records.extend(batch?);
+                        let mut source = st.source(DEFAULT_STORE_BATCH);
+                        while let Some(batch) = source.next_batch()? {
+                            records.extend(batch);
                         }
                         Dataset::from_records(records)
                     }
@@ -503,10 +627,10 @@ impl Command {
                 } else {
                     *batch_size
                 };
-                let (output, _) = stream::stream_anonymize_collect(
-                    stream::dataset_batches(&dataset, effective_batch),
-                    &config,
-                );
+                let mut source = DatasetSource::new(&dataset, effective_batch);
+                let mut sink = CollectSink::for_config(&config);
+                run_pipeline(&config, &mut source, &mut sink, *threads)?;
+                let output: DisassociationOutput = sink.into_output();
                 let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
                 writeln!(out, "{}", loss.table_row(&format!("k={k} m={m}")))?;
                 Ok(())
@@ -515,42 +639,36 @@ impl Command {
     }
 }
 
-/// Runs the streaming anonymization pipeline from either source.
-///
-/// Both sources feed [`stream::stream_anonymize_collect`] batch by batch, so
-/// original-record residency is bounded by the batch size; `batch_size == 0`
-/// selects one monolithic batch for file input (the historical behaviour)
-/// and [`DEFAULT_STORE_BATCH`] for store input.  Identical record sequences
-/// with identical batch sizes publish byte-identical datasets regardless of
-/// source.
-fn run_streaming_anonymize(
+/// Runs a fully-configured pipeline over an already-built source and sink.
+fn run_pipeline(
+    config: &DisassociationConfig,
+    source: &mut dyn RecordSource,
+    sink: &mut dyn ChunkSink,
+    threads: usize,
+) -> Result<RunSummary, CliError> {
+    Ok(Pipeline::new(config.clone())
+        .source(source)
+        .sink(sink)
+        .threads(threads)
+        .run()?)
+}
+
+/// Builds the [`RecordSource`] matching the `--input FILE` / `--store DIR`
+/// choice and hands it to `f`: file input streams through [`ReaderSource`]
+/// (`batch_size == 0` = one monolithic batch, the historical behaviour),
+/// store input through [`Store::source`] (`0` = [`DEFAULT_STORE_BATCH`]).
+/// Identical record sequences with identical batch sizes publish
+/// byte-identical datasets regardless of source.
+fn with_source<T>(
     input: Option<&Path>,
     store: Option<&Path>,
     batch_size: usize,
-    config: &DisassociationConfig,
-) -> Result<DisassociationOutput, CliError> {
+    f: impl FnOnce(&mut dyn RecordSource) -> Result<T, CliError>,
+) -> Result<T, CliError> {
     match (input, store) {
         (Some(path), _) => {
-            let mut reader = RecordReader::open(path)?;
-            let size = if batch_size == 0 {
-                usize::MAX
-            } else {
-                batch_size
-            };
-            let mut read_err: Option<transact::TransactError> = None;
-            let batches = std::iter::from_fn(|| match reader.next_batch(size) {
-                Ok(batch) if batch.is_empty() => None,
-                Ok(batch) => Some(batch),
-                Err(e) => {
-                    read_err = Some(e);
-                    None
-                }
-            });
-            let (output, _) = stream::stream_anonymize_collect(batches, config);
-            match read_err {
-                Some(e) => Err(e.into()),
-                None => Ok(output),
-            }
+            let mut source = ReaderSource::open(path, batch_size)?;
+            f(&mut source)
         }
         (None, Some(dir)) => {
             let st = open_existing_store(dir)?;
@@ -559,21 +677,12 @@ fn run_streaming_anonymize(
             } else {
                 batch_size
             };
-            let mut scan_err: Option<disassoc_store::StoreError> = None;
-            let batches = st.scan(size).map_while(|r| match r {
-                Ok(batch) => Some(batch),
-                Err(e) => {
-                    scan_err = Some(e);
-                    None
-                }
-            });
-            let (output, _) = stream::stream_anonymize_collect(batches, config);
-            match scan_err {
-                Some(e) => Err(e.into()),
-                None => Ok(output),
-            }
+            let mut source = st.source(size);
+            f(&mut source)
         }
-        (None, None) => Err(CliError("one of --input or --store is required".into())),
+        (None, None) => Err(CliError::Usage(
+            "one of --input or --store is required".into(),
+        )),
     }
 }
 
@@ -581,9 +690,12 @@ fn run_streaming_anonymize(
 /// missing/uninitialized directory (only `ingest` creates stores).
 fn open_existing_store(dir: &Path) -> Result<Store, CliError> {
     if !Store::exists(dir) {
-        return Err(CliError(format!(
-            "no store at {} (run `disassoc ingest` first)",
-            dir.display()
+        return Err(CliError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!(
+                "no store at {} (run `disassoc ingest` first)",
+                dir.display()
+            ),
         )));
     }
     Ok(Store::open(dir, StoreConfig::default())?)
@@ -594,10 +706,12 @@ fn input_or_store(
     flags: &BTreeMap<String, String>,
 ) -> Result<(Option<PathBuf>, Option<PathBuf>), CliError> {
     match (flags.get("input"), flags.get("store")) {
-        (Some(_), Some(_)) => Err(CliError(
+        (Some(_), Some(_)) => Err(CliError::Usage(
             "--input and --store are mutually exclusive".into(),
         )),
-        (None, None) => Err(CliError("one of --input or --store is required".into())),
+        (None, None) => Err(CliError::Usage(
+            "one of --input or --store is required".into(),
+        )),
         (input, store) => Ok((input.map(PathBuf::from), store.map(PathBuf::from))),
     }
 }
@@ -609,7 +723,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
     while i < args.len() {
         let arg = &args[i];
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(CliError(format!("unexpected argument {arg:?}")));
+            return Err(CliError::Usage(format!("unexpected argument {arg:?}")));
         };
         let is_boolean = name == "no-refine" || name == "compact";
         if is_boolean {
@@ -618,7 +732,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
         } else {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
+                .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
             flags.insert(name.to_owned(), value.clone());
             i += 2;
         }
@@ -658,25 +772,36 @@ mod tests {
     #[test]
     fn parse_anonymize_with_flags() {
         let cmd = Command::parse(&args(
-            "anonymize --input d.dat --k 5 --m 2 --no-refine --out-prefix pub",
+            "anonymize --input d.dat --k 5 --m 2 --no-refine --threads 4 --out-prefix pub",
         ))
         .unwrap();
         match cmd {
             Command::Anonymize {
-                k, m, no_refine, ..
+                k,
+                m,
+                no_refine,
+                threads,
+                ..
             } => {
                 assert_eq!((k, m), (5, 2));
                 assert!(no_refine);
+                assert_eq!(threads, 4);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --threads defaults to 1 (serial).
+        match Command::parse(&args("evaluate --input d.dat --k 5 --m 2")).unwrap() {
+            Command::Evaluate { threads, .. } => assert_eq!(threads, 1),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
-    fn missing_required_flag_is_an_error() {
+    fn missing_required_flag_is_a_usage_error() {
         let err =
             Command::parse(&args("anonymize --input d.dat --k 5 --out-prefix pub")).unwrap_err();
-        assert!(err.0.contains("--m"));
+        assert!(err.to_string().contains("--m"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -687,7 +812,8 @@ mod tests {
     #[test]
     fn bad_integer_is_an_error() {
         let err = Command::parse(&args("evaluate --input d.dat --k five --m 2")).unwrap_err();
-        assert!(err.0.contains("--k"));
+        assert!(err.to_string().contains("--k"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -698,6 +824,96 @@ mod tests {
     #[test]
     fn positional_arguments_are_rejected() {
         assert!(Command::parse(&args("stats input.dat")).is_err());
+    }
+
+    #[test]
+    fn exit_codes_split_usage_from_runtime() {
+        // Usage: bad flags and invalid privacy parameters.
+        assert_eq!(CliError::Usage("nope".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Config(ConfigError::KTooSmall { k: 1 }).exit_code(),
+            2
+        );
+        // Runtime: I/O, store, pipeline.
+        assert_eq!(CliError::Io(std::io::Error::other("boom")).exit_code(), 1);
+        assert_eq!(
+            CliError::Store(disassoc_store::StoreError::corrupt("bad")).exit_code(),
+            1
+        );
+        // `--k 1` flows through run() as a Config error, not a panic.
+        let mut sink = Vec::new();
+        let err = Command::parse(&args("evaluate --input d.dat --k 1 --m 2"))
+            .unwrap()
+            .run(&mut sink)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("k must be at least 2"));
+    }
+
+    #[test]
+    fn runtime_errors_render_their_cause_chain() {
+        // A missing input file: CliError::Pipeline -> SourceError -> io.
+        let prefix = std::env::temp_dir().join(format!("cli_chain_test_{}", std::process::id()));
+        let mut sink = Vec::new();
+        let err = Command::parse(&args(&format!(
+            "anonymize --input /nonexistent/x.dat --k 3 --m 2 --out-prefix {}",
+            prefix.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let chain = err.render_chain();
+        assert!(chain.contains("caused by:"), "{chain}");
+        assert!(chain.contains("/nonexistent/x.dat"), "{chain}");
+        // The sink is created only after the source opened: a missing input
+        // must leave no output file behind, partial or otherwise.
+        assert!(!prefix.with_extension("chunks.json").exists());
+        assert!(!prefix.with_extension("chunks.json.partial").exists());
+    }
+
+    #[test]
+    fn failed_rerun_preserves_an_existing_publication() {
+        let dir = std::env::temp_dir().join(format!("cli_rerun_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.dat");
+        let prefix = dir.join("pub");
+        let mut sink = Vec::new();
+        Command::parse(&args(&format!(
+            "generate --kind quest --records 120 --domain 40 --out {}",
+            data.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        Command::parse(&args(&format!(
+            "anonymize --input {} --k 3 --m 2 --out-prefix {}",
+            data.display(),
+            prefix.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        let chunks = prefix.with_extension("chunks.json");
+        let good = std::fs::read(&chunks).unwrap();
+
+        // Re-run against a now-corrupt input: the run fails, and the
+        // previous publication survives byte-for-byte (the stream went to a
+        // `.partial` sibling that is removed on failure).
+        std::fs::write(&data, "1 2\nnot numbers\n").unwrap();
+        let err = Command::parse(&args(&format!(
+            "anonymize --input {} --k 3 --m 2 --out-prefix {}",
+            data.display(),
+            prefix.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert_eq!(std::fs::read(&chunks).unwrap(), good);
+        assert!(!prefix.with_extension("chunks.json.partial").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -746,9 +962,10 @@ mod tests {
             "anonymize --input d.dat --store /tmp/s --k 3 --m 2 --out-prefix p",
         ))
         .unwrap_err();
-        assert!(err.0.contains("mutually exclusive"));
+        assert!(err.to_string().contains("mutually exclusive"));
+        assert_eq!(err.exit_code(), 2);
         let err = Command::parse(&args("evaluate --k 3 --m 2")).unwrap_err();
-        assert!(err.0.contains("--input or --store"));
+        assert!(err.to_string().contains("--input or --store"));
     }
 
     #[test]
@@ -759,8 +976,11 @@ mod tests {
         for cmd in [
             format!("store-info --store {}", dir.display()),
             format!(
-                "anonymize --store {} --k 3 --m 2 --out-prefix p",
-                dir.display()
+                "anonymize --store {} --k 3 --m 2 --out-prefix {}",
+                dir.display(),
+                std::env::temp_dir()
+                    .join("disassoc_cli_missing_store_pub")
+                    .display()
             ),
             format!("evaluate --store {} --k 3 --m 2", dir.display()),
         ] {
@@ -768,9 +988,15 @@ mod tests {
                 .unwrap()
                 .run(&mut sink)
                 .unwrap_err();
-            assert!(err.0.contains("no store at"), "{cmd}: {err}");
+            assert!(err.to_string().contains("no store at"), "{cmd}: {err}");
+            assert_eq!(err.exit_code(), 1, "{cmd}");
         }
         assert!(!dir.exists(), "read commands must not create the store");
+        // The anonymize attempt failed before its sink was created: no
+        // chunk file (partial or otherwise) may exist.
+        let pub_prefix = std::env::temp_dir().join("disassoc_cli_missing_store_pub");
+        assert!(!pub_prefix.with_extension("chunks.json").exists());
+        assert!(!pub_prefix.with_extension("chunks.json.partial").exists());
     }
 
     #[test]
@@ -815,8 +1041,24 @@ mod tests {
         .unwrap();
         assert!(prefix.with_extension("chunks.json").exists());
 
+        // A parallel run must produce the byte-identical chunk file.
+        let prefix4 = dir.join("published4");
         Command::parse(&args(&format!(
-            "evaluate --store {} --k 3 --m 2 --batch-size 64",
+            "anonymize --store {} --k 3 --m 2 --batch-size 64 --threads 4 --out-prefix {}",
+            store.display(),
+            prefix4.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        assert_eq!(
+            std::fs::read(prefix.with_extension("chunks.json")).unwrap(),
+            std::fs::read(prefix4.with_extension("chunks.json")).unwrap(),
+            "--threads 4 must publish byte-identically to --threads 1"
+        );
+
+        Command::parse(&args(&format!(
+            "evaluate --store {} --k 3 --m 2 --batch-size 64 --threads 2",
             store.display()
         )))
         .unwrap()

@@ -1,20 +1,26 @@
 //! `disassoc` — the command-line entry point (see the library crate for the
 //! command implementations).
+//!
+//! Exit status follows the usual Unix convention: `2` for usage errors (bad
+//! flags, invalid privacy parameters), `1` for runtime failures (I/O,
+//! corrupt store, failed pipeline).  Runtime failures print their full
+//! typed-error cause chain as `caused by:` lines.
 
-use disassoc_cli::Command;
+use disassoc_cli::{CliError, Command};
+
+fn fail(error: &CliError) -> ! {
+    eprintln!("error: {}", error.render_chain());
+    std::process::exit(error.exit_code());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match Command::parse(&args) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail(&e),
     };
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = command.run(&mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        fail(&e);
     }
 }

@@ -1,0 +1,277 @@
+//! Typed errors for the disassociation pipeline.
+//!
+//! Every fallible step of a [`crate::pipeline::Pipeline`] run has its own
+//! error type — [`ConfigError`] for invalid privacy parameters,
+//! [`SourceError`] for failures while drawing record batches,
+//! [`SinkError`] for failures while delivering published chunks — and all of
+//! them roll up into [`Error`], the single error type `Pipeline::run`
+//! returns.  Causes are preserved as [`std::error::Error::source`] chains
+//! (never flattened to strings), so a caller can walk the chain and report
+//! `caused by: …` lines all the way down to the original I/O error.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A boxed error cause, as carried by [`SourceError`] and [`SinkError`].
+pub type BoxedError = Box<dyn StdError + Send + Sync + 'static>;
+
+/// An invalid [`crate::DisassociationConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `k < 2`: `k = 1` would publish with no privacy at all.
+    KTooSmall {
+        /// The rejected value.
+        k: usize,
+    },
+    /// `m = 0`: the adversary-knowledge bound must be at least one term.
+    MIsZero,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::KTooSmall { k } => {
+                write!(f, "k must be at least 2 (k = {k} means no privacy)")
+            }
+            ConfigError::MIsZero => write!(f, "m must be at least 1"),
+        }
+    }
+}
+
+impl StdError for ConfigError {}
+
+/// A failure while drawing record batches from a
+/// [`crate::pipeline::RecordSource`].
+///
+/// Carries a short context line (what the source was doing) plus the
+/// underlying cause, reachable through [`std::error::Error::source`].
+#[derive(Debug)]
+pub struct SourceError {
+    context: String,
+    cause: Option<BoxedError>,
+}
+
+impl SourceError {
+    /// An error with a context line and an underlying cause.
+    pub fn new(context: impl Into<String>, cause: impl Into<BoxedError>) -> Self {
+        SourceError {
+            context: context.into(),
+            cause: Some(cause.into()),
+        }
+    }
+
+    /// An error that is its own root cause (no inner error to point at).
+    pub fn message(context: impl Into<String>) -> Self {
+        SourceError {
+            context: context.into(),
+            cause: None,
+        }
+    }
+
+    /// The context line (without the cause chain).
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record source failed: {}", self.context)
+    }
+}
+
+impl StdError for SourceError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        self.cause
+            .as_deref()
+            .map(|e| e as &(dyn StdError + 'static))
+    }
+}
+
+impl From<transact::TransactError> for SourceError {
+    fn from(e: transact::TransactError) -> Self {
+        SourceError::new("reading records", e)
+    }
+}
+
+impl From<std::io::Error> for SourceError {
+    fn from(e: std::io::Error) -> Self {
+        SourceError::new("reading records", e)
+    }
+}
+
+/// A failure while delivering a published batch to a
+/// [`crate::pipeline::ChunkSink`].
+///
+/// Same shape as [`SourceError`]: a context line plus the preserved cause.
+#[derive(Debug)]
+pub struct SinkError {
+    context: String,
+    cause: Option<BoxedError>,
+}
+
+impl SinkError {
+    /// An error with a context line and an underlying cause.
+    pub fn new(context: impl Into<String>, cause: impl Into<BoxedError>) -> Self {
+        SinkError {
+            context: context.into(),
+            cause: Some(cause.into()),
+        }
+    }
+
+    /// An error that is its own root cause.
+    pub fn message(context: impl Into<String>) -> Self {
+        SinkError {
+            context: context.into(),
+            cause: None,
+        }
+    }
+
+    /// The context line (without the cause chain).
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk sink failed: {}", self.context)
+    }
+}
+
+impl StdError for SinkError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        self.cause
+            .as_deref()
+            .map(|e| e as &(dyn StdError + 'static))
+    }
+}
+
+impl From<std::io::Error> for SinkError {
+    fn from(e: std::io::Error) -> Self {
+        SinkError::new("writing published chunks", e)
+    }
+}
+
+/// The error type of a [`crate::pipeline::Pipeline`] run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The pipeline was run without a source.
+    MissingSource,
+    /// The record source failed mid-stream; every batch delivered before the
+    /// failure has already reached the sink, nothing after it will.
+    Source(SourceError),
+    /// The sink rejected a published batch; the run stops without pulling
+    /// further batches from the source.
+    Sink(SinkError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid disassociation configuration: {e}"),
+            Error::MissingSource => write!(f, "pipeline has no record source"),
+            Error::Source(e) => write!(f, "{e}"),
+            Error::Sink(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            // `Error::Config`'s Display already inlines the ConfigError
+            // message; returning it again would print the same line twice
+            // in a rendered chain (and ConfigError has no deeper cause).
+            Error::Config(_) | Error::MissingSource => None,
+            // Skip the Source/Sink wrapper in the chain: `Error` displays the
+            // wrapper's own line already, so the next hop is the real cause.
+            Error::Source(e) => e.source(),
+            Error::Sink(e) => e.source(),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<SourceError> for Error {
+    fn from(e: SourceError) -> Self {
+        Error::Source(e)
+    }
+}
+
+impl From<SinkError> for Error {
+    fn from(e: SinkError) -> Self {
+        Error::Sink(e)
+    }
+}
+
+/// Renders `error` and its full [`source`](StdError::source) chain as a
+/// multi-line message (`caused by:` lines), the standard way the workspace
+/// reports pipeline failures to humans.
+pub fn render_chain(error: &(dyn StdError + 'static)) -> String {
+    let mut out = error.to_string();
+    let mut cause = error.source();
+    while let Some(e) = cause {
+        out.push_str("\n  caused by: ");
+        out.push_str(&e.to_string());
+        cause = e.source();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_errors_display() {
+        assert!(ConfigError::KTooSmall { k: 1 }
+            .to_string()
+            .contains("k = 1"));
+        assert!(ConfigError::MIsZero.to_string().contains("m"));
+    }
+
+    #[test]
+    fn source_error_preserves_the_cause_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let src = SourceError::new("scanning segment 3", io);
+        let err = Error::from(src);
+        assert!(err.to_string().contains("scanning segment 3"));
+        let cause = err.source().expect("cause preserved");
+        assert!(cause.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn render_chain_walks_every_hop() {
+        let io = std::io::Error::other("disk on fire");
+        let err = Error::from(SinkError::new("writing batch 7", io));
+        let rendered = render_chain(&err);
+        assert!(rendered.contains("writing batch 7"), "{rendered}");
+        assert!(rendered.contains("caused by: disk on fire"), "{rendered}");
+    }
+
+    #[test]
+    fn config_error_renders_exactly_once_in_the_chain() {
+        // Display inlines the ConfigError message; the chain must not
+        // repeat it as a `caused by:` hop.
+        let rendered = render_chain(&Error::from(ConfigError::KTooSmall { k: 1 }));
+        assert!(rendered.contains("k must be at least 2"), "{rendered}");
+        assert!(!rendered.contains("caused by:"), "{rendered}");
+    }
+
+    #[test]
+    fn message_errors_have_no_cause() {
+        let e = SourceError::message("source poisoned by an earlier failure");
+        assert!(e.source().is_none());
+        assert!(Error::from(e).source().is_none());
+    }
+}

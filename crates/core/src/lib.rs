@@ -52,8 +52,10 @@
 
 pub mod anonymity;
 pub mod diversity;
+pub mod error;
 pub mod horpart;
 pub mod model;
+pub mod pipeline;
 pub mod query;
 pub mod reconstruct;
 pub mod refine;
@@ -61,9 +63,11 @@ pub mod stream;
 pub mod verify;
 pub mod verpart;
 
+pub use error::{ConfigError, Error, SinkError, SourceError};
 pub use model::{
     Cluster, ClusterNode, DisassociatedDataset, JointCluster, RecordChunk, SharedChunk, TermChunk,
 };
+pub use pipeline::{BatchOutput, ChunkSink, Pipeline, RecordSource, RunSummary};
 pub use reconstruct::{reconstruct, reconstruct_many};
 
 use horpart::horizontal_partition;
@@ -128,12 +132,12 @@ impl DisassociationConfig {
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), error::ConfigError> {
         if self.k < 2 {
-            return Err("k must be at least 2 (k = 1 means no privacy)".into());
+            return Err(error::ConfigError::KTooSmall { k: self.k });
         }
         if self.m == 0 {
-            return Err("m must be at least 1".into());
+            return Err(error::ConfigError::MIsZero);
         }
         Ok(())
     }
@@ -169,16 +173,24 @@ pub struct Disassociator {
 }
 
 impl Disassociator {
+    /// Creates an anonymizer, rejecting invalid configurations with a typed
+    /// [`ConfigError`] — the fallible constructor every caller outside this
+    /// crate should use (or go through [`pipeline::Pipeline`], which
+    /// validates on `run`).
+    pub fn try_new(config: DisassociationConfig) -> Result<Self, error::ConfigError> {
+        config.validate()?;
+        Ok(Disassociator { config })
+    }
+
     /// Creates an anonymizer with the given configuration.
     ///
     /// # Panics
     /// Panics if the configuration is invalid (see
-    /// [`DisassociationConfig::validate`]).
+    /// [`DisassociationConfig::validate`]); prefer [`Disassociator::try_new`]
+    /// anywhere a panic is not acceptable.
     pub fn new(config: DisassociationConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid disassociation configuration: {e}"));
-        Disassociator { config }
+        Self::try_new(config)
+            .unwrap_or_else(|e| panic!("invalid disassociation configuration: {e}"))
     }
 
     /// The configuration.

@@ -1,162 +1,112 @@
-//! Out-of-core anonymization: HorPart/VerPart/Refine per record batch.
+//! Legacy streaming entry points, kept as thin shims over
+//! [`crate::pipeline`].
 //!
-//! The monolithic [`crate::Disassociator::anonymize`] needs the whole dataset
-//! in memory.  This module runs the same three phases **per batch** drawn
-//! from any record source (a `disassoc-store` chunked scan, a streaming
-//! file reader, an in-memory dataset split into batches), so peak residency
-//! of *original records* is bounded by the batch size:
+//! This module was the PR 2 out-of-core API: run HorPart/VerPart/Refine per
+//! record batch with a sink callback.  The unified [`Pipeline`] builder
+//! supersedes it — it adds fallible sources and sinks (typed errors instead
+//! of "fallible sources … short-circuit before calling this"), parallel
+//! batch execution and streaming file sinks — and everything here now
+//! routes through [`Pipeline::run`]:
 //!
-//! * each batch is horizontally partitioned, vertically partitioned and
-//!   refined independently, exactly as a standalone dataset would be;
-//! * the published clusters of a batch are handed to a sink callback as soon
-//!   as the batch completes, and the batch's records are dropped before the
-//!   next batch is pulled.
+//! | old entry point | replacement |
+//! |---|---|
+//! | `stream_anonymize(batches, cfg, sink)` | `Pipeline::new(cfg).source(&mut IterSource::new(batches)).sink(&mut FnSink::new(sink)).run()` |
+//! | `stream_anonymize_collect(batches, cfg)` | same, with a [`CollectSink`] |
+//! | `dataset_batches(&dataset, n)` | [`DatasetSource::new`] |
 //!
-//! Correctness: k^m-anonymity is a *per-cluster* guarantee (every record
-//! chunk of every cluster is k^m-anonymous on its own — Section 3 of the
-//! paper), so partitioning the horizontal phase by batch cannot weaken it;
-//! it only constrains which records may share a cluster, which is a utility
-//! trade-off, not a privacy one.  Determinism: a batch's output depends only
-//! on its records and the configuration, so any two sources yielding the
-//! same record sequence and batch size publish byte-identical datasets —
-//! the store-backed and in-memory paths are interchangeable.
+//! The shims keep the PR 2 contract bit for bit: identical outputs,
+//! identical panics on invalid configurations, identical summaries.
 
-use crate::model::ClusterNode;
-use crate::{DisassociationConfig, DisassociationOutput, Disassociator};
+use crate::pipeline::{CollectSink, DatasetSource, FnSink, IterSource, Pipeline};
+use crate::{DisassociationConfig, DisassociationOutput, Error};
 use transact::{Dataset, Record};
 
-/// One anonymized batch, as handed to the sink callback.
-#[derive(Debug, Clone)]
-pub struct BatchOutput {
-    /// 0-based index of the batch in the stream.
-    pub batch_index: usize,
-    /// Ordinal of the batch's first record in the overall stream.
-    pub record_offset: usize,
-    /// The batch's anonymization result.  `cluster_assignment` indices are
-    /// *batch-local*; add [`BatchOutput::record_offset`] for stream-wide
-    /// ordinals.
-    pub output: DisassociationOutput,
-}
+pub use crate::pipeline::{BatchOutput, RunSummary};
 
-/// Counters describing a finished streaming run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StreamSummary {
-    /// Batches processed.
-    pub batches: usize,
-    /// Records processed.
-    pub records: usize,
-    /// Largest single batch seen (the bound on original-record residency).
-    pub peak_batch_records: usize,
-}
+/// The pre-pipeline name of [`RunSummary`].
+#[deprecated(note = "renamed to `disassociation::RunSummary`")]
+pub type StreamSummary = RunSummary;
 
 /// Runs the disassociation pipeline batch by batch, invoking `sink` with
 /// every finished [`BatchOutput`].
 ///
 /// `batches` yields anything convertible into a `Vec<Record>`; each batch is
-/// converted, anonymized and dropped before the next one is pulled.  Errors
-/// in the source are the source's business: infallible iterators plug in
-/// directly, fallible sources (store scans, file readers) typically
-/// short-circuit before calling this.
+/// converted, anonymized and dropped before the next one is pulled.
 ///
 /// # Panics
-/// Panics if `config` is invalid (same contract as [`Disassociator::new`]).
-pub fn stream_anonymize<B, I, F>(
-    batches: I,
-    config: &DisassociationConfig,
-    mut sink: F,
-) -> StreamSummary
+/// Panics if `config` is invalid (same contract as [`crate::Disassociator::new`]).
+#[deprecated(
+    note = "use `pipeline::Pipeline` with an `IterSource` and `FnSink` (typed errors, threading)"
+)]
+pub fn stream_anonymize<B, I, F>(batches: I, config: &DisassociationConfig, sink: F) -> RunSummary
 where
     B: Into<Vec<Record>>,
     I: IntoIterator<Item = B>,
     F: FnMut(BatchOutput),
 {
-    let disassociator = Disassociator::new(config.clone());
-    let mut summary = StreamSummary::default();
-    for batch in batches {
-        let records: Vec<Record> = batch.into();
-        if records.is_empty() {
-            continue;
-        }
-        let len = records.len();
-        let output = disassociator.anonymize(&Dataset::from_records(records));
-        sink(BatchOutput {
-            batch_index: summary.batches,
-            record_offset: summary.records,
-            output,
-        });
-        summary.batches += 1;
-        summary.records += len;
-        summary.peak_batch_records = summary.peak_batch_records.max(len);
+    let mut source = IterSource::new(batches);
+    let mut sink = FnSink::new(sink);
+    match Pipeline::new(config.clone())
+        .source(&mut source)
+        .sink(&mut sink)
+        .run()
+    {
+        Ok(summary) => summary,
+        Err(Error::Config(e)) => panic!("invalid disassociation configuration: {e}"),
+        Err(other) => unreachable!("infallible source and sink failed: {other}"),
     }
-    summary
 }
 
-/// Streams batches through [`stream_anonymize`] and assembles the combined
+/// Streams batches through the pipeline and assembles the combined
 /// publication: cluster nodes concatenated in stream order, assignment
 /// indices rebased to stream-wide ordinals, phase timings summed.
 ///
 /// The combined output is exactly what the monolithic path produces when the
 /// whole stream fits one batch; for smaller batches it is the batched
 /// publication (one independent cluster forest per batch, concatenated).
+///
+/// # Panics
+/// Panics if `config` is invalid (same contract as [`crate::Disassociator::new`]).
+#[deprecated(note = "use `pipeline::Pipeline` with a `CollectSink` (typed errors, threading)")]
 pub fn stream_anonymize_collect<B, I>(
     batches: I,
     config: &DisassociationConfig,
-) -> (DisassociationOutput, StreamSummary)
+) -> (DisassociationOutput, RunSummary)
 where
     B: Into<Vec<Record>>,
     I: IntoIterator<Item = B>,
 {
-    let mut clusters: Vec<ClusterNode> = Vec::new();
-    let mut cluster_assignment: Vec<Vec<usize>> = Vec::new();
-    let mut phase_seconds = [0.0f64; 3];
-    let summary = stream_anonymize(batches, config, |batch| {
-        let offset = batch.record_offset;
-        let output = batch.output;
-        clusters.extend(output.dataset.clusters);
-        cluster_assignment.extend(
-            output
-                .cluster_assignment
-                .into_iter()
-                .map(|indices| indices.into_iter().map(|i| i + offset).collect()),
-        );
-        for (total, phase) in phase_seconds.iter_mut().zip(output.phase_seconds) {
-            *total += phase;
-        }
-    });
-    let dataset = crate::DisassociatedDataset {
-        k: config.k,
-        m: config.m,
-        clusters,
+    let mut source = IterSource::new(batches);
+    let mut sink = CollectSink::for_config(config);
+    let summary = match Pipeline::new(config.clone())
+        .source(&mut source)
+        .sink(&mut sink)
+        .run()
+    {
+        Ok(summary) => summary,
+        Err(Error::Config(e)) => panic!("invalid disassociation configuration: {e}"),
+        Err(other) => unreachable!("infallible source and sink failed: {other}"),
     };
-    (
-        DisassociationOutput {
-            dataset,
-            cluster_assignment,
-            phase_seconds,
-        },
-        summary,
-    )
+    (sink.into_output(), summary)
 }
 
-/// Splits an in-memory dataset into `batch_size`-record batches (the
-/// adapter that lets the monolithic input format run through the streaming
-/// path; `batch_size == 0` means a single batch).
-pub fn dataset_batches(dataset: &Dataset, batch_size: usize) -> Vec<Vec<Record>> {
-    if dataset.is_empty() {
-        return Vec::new();
-    }
-    let size = if batch_size == 0 {
-        dataset.len()
-    } else {
-        batch_size
-    };
-    dataset.records().chunks(size).map(|c| c.to_vec()).collect()
+/// Splits an in-memory dataset into `batch_size`-record batches
+/// (`batch_size == 0` means a single batch).
+///
+/// Returns the **lazy** [`DatasetSource`] — batches are cloned out one at a
+/// time as the iterator is advanced, so peak extra residency is one batch,
+/// not an eager `Vec<Vec<Record>>` copy of the whole dataset.
+#[deprecated(note = "use `pipeline::DatasetSource::new` directly")]
+pub fn dataset_batches(dataset: &Dataset, batch_size: usize) -> DatasetSource<'_> {
+    DatasetSource::new(dataset, batch_size)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::verify;
+    use crate::Disassociator;
     use transact::TermId;
 
     fn rec(ids: &[u32]) -> Record {
@@ -194,8 +144,8 @@ mod tests {
 
     #[test]
     fn batched_output_is_source_independent() {
-        // Two different "sources" (chunk sizes arranged differently up
-        // front, same yielded record sequence) publish identical datasets.
+        // Two different "sources" (a lazy DatasetSource and pre-materialized
+        // chunks, same yielded record sequence) publish identical datasets.
         let d = workload(50);
         let (a, _) = stream_anonymize_collect(dataset_batches(&d, 16), &config());
         let batches: Vec<Vec<Record>> = d.records().chunks(16).map(<[Record]>::to_vec).collect();
@@ -248,19 +198,29 @@ mod tests {
     #[test]
     fn empty_stream_produces_empty_publication() {
         let (out, summary) = stream_anonymize_collect(Vec::<Vec<Record>>::new(), &config());
-        assert_eq!(summary, StreamSummary::default());
+        assert_eq!(summary, RunSummary::default());
         assert_eq!(out.dataset.total_records(), 0);
         assert!(out.dataset.clusters.is_empty());
     }
 
     #[test]
-    fn dataset_batches_chunking() {
+    #[should_panic(expected = "invalid disassociation configuration")]
+    fn invalid_config_still_panics_like_pr2() {
+        let bad = DisassociationConfig {
+            k: 1,
+            ..Default::default()
+        };
+        let _ = stream_anonymize_collect(Vec::<Vec<Record>>::new(), &bad);
+    }
+
+    #[test]
+    fn dataset_batches_chunking_is_lazy() {
         let d = workload(10);
         assert_eq!(dataset_batches(&d, 0).len(), 1);
         assert_eq!(dataset_batches(&d, 4).len(), 3);
         assert_eq!(dataset_batches(&d, 100).len(), 1);
-        assert!(dataset_batches(&Dataset::new(), 4).is_empty());
-        let flat: Vec<Record> = dataset_batches(&d, 3).into_iter().flatten().collect();
+        assert_eq!(dataset_batches(&Dataset::new(), 4).len(), 0);
+        let flat: Vec<Record> = dataset_batches(&d, 3).flatten().collect();
         assert_eq!(flat, d.records());
     }
 }

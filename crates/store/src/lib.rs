@@ -47,12 +47,14 @@ pub mod encode;
 pub mod manifest;
 pub mod scan;
 pub mod segment;
+pub mod source;
 pub mod wal;
 
 pub use compact::CompactionStats;
 pub use manifest::{Manifest, SegmentEntry};
 pub use scan::RecordBatchIter;
 pub use segment::{SegmentMeta, TermSummary};
+pub use source::StoreSource;
 
 use manifest::MANIFEST_FILE;
 use segment::{read_footer, SegmentWriter};

@@ -44,11 +44,12 @@ fn main() {
     let window = pair_window(&dataset, 20..40);
 
     // --- Disassociation -----------------------------------------------------
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k,
         m,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(3);
     let reconstruction = reconstruct(&output.dataset, &mut rng);

@@ -6,12 +6,13 @@
 //! cargo run -p disassoc-cli --example quickstart
 //! ```
 
-use disassociation::{reconstruct, ClusterNode, DisassociationConfig, Disassociator};
+use disassociation::pipeline::{CollectSink, DatasetSource, Pipeline};
+use disassociation::{reconstruct, ClusterNode, DisassociationConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use transact::{Dataset, Dictionary, Record};
 
-fn main() {
+fn main() -> Result<(), disassociation::Error> {
     // The web-search query log of Figure 2a: one record per user, each
     // record the set of queries the user posed.
     let mut dict = Dictionary::new();
@@ -64,14 +65,23 @@ fn main() {
         dataset.itemset_support(&[madonna, viagra])
     );
 
-    // Anonymize with the paper's running-example parameters: k = 3, m = 2.
+    // Anonymize with the paper's running-example parameters: k = 3, m = 2,
+    // through the unified pipeline API (source → pipeline → sink).  A tiny
+    // in-memory dataset fits one batch; the same builder drives streaming
+    // files and persistent stores.
     let config = DisassociationConfig {
         k: 3,
         m: 2,
         max_cluster_size: 6,
         ..Default::default()
     };
-    let output = Disassociator::new(config).anonymize(&dataset);
+    let mut source = DatasetSource::new(&dataset, 0);
+    let mut sink = CollectSink::for_config(&config);
+    Pipeline::new(config)
+        .source(&mut source)
+        .sink(&mut sink)
+        .run()?;
+    let output = sink.into_output();
 
     println!("\npublished (disassociated) dataset:");
     for (i, node) in output.dataset.clusters.iter().enumerate() {
@@ -104,6 +114,7 @@ fn main() {
         dataset.itemset_support(&[itunes, flu]),
         sample.itemset_support(&[itunes, flu]),
     );
+    Ok(())
 }
 
 fn print_node(node: &ClusterNode, dict: &Dictionary, index: usize, depth: usize) {

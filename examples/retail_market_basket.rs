@@ -43,11 +43,12 @@ fn main() {
     // Trade-off curve: information loss as the privacy requirement grows.
     println!("\nprivacy/utility trade-off (m = 2):");
     for k in [2usize, 5, 10, 20] {
-        let output = Disassociator::new(DisassociationConfig {
+        let output = Disassociator::try_new(DisassociationConfig {
             k,
             m: 2,
             ..Default::default()
         })
+        .expect("valid disassociation configuration")
         .anonymize(&dataset);
         let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
         println!("  {}", loss.table_row(&format!("k={k}")));
@@ -56,11 +57,12 @@ fn main() {
     // Multi-reconstruction averaging: the partner can sample several possible
     // datasets and average the supports, which sharpens pair-support
     // estimates for mid-frequency products.
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 5,
         m: 2,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let window = pair_window(&dataset, 100..120);
     let mut rng = StdRng::seed_from_u64(99);

@@ -46,7 +46,9 @@ fn main() {
         sensitive_terms: sensitive.clone(),
         ..Default::default()
     };
-    let output = Disassociator::new(config).anonymize(&dataset);
+    let output = Disassociator::try_new(config)
+        .expect("valid disassociation configuration")
+        .anonymize(&dataset);
 
     println!(
         "published {} clusters, {} record chunks, {} shared chunks in {:.2}s",

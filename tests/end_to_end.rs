@@ -35,11 +35,12 @@ fn loss_config() -> LossConfig {
 fn quest_workload_full_pipeline_and_guarantee() {
     let dataset = quest(2_000, 300, 1);
     for (k, m) in [(3usize, 2usize), (5, 2), (10, 1)] {
-        let output = Disassociator::new(DisassociationConfig {
+        let output = Disassociator::try_new(DisassociationConfig {
             k,
             m,
             ..Default::default()
         })
+        .expect("valid disassociation configuration")
         .anonymize(&dataset);
         assert_eq!(output.dataset.total_records(), dataset.len());
         let structure = verify_structure(&output.dataset);
@@ -53,11 +54,12 @@ fn quest_workload_full_pipeline_and_guarantee() {
 fn real_profiles_full_pipeline_and_guarantee() {
     for real in [RealDataset::Wv1, RealDataset::Wv2] {
         let dataset = real.generate_scaled(100);
-        let output = Disassociator::new(DisassociationConfig {
+        let output = Disassociator::try_new(DisassociationConfig {
             k: 5,
             m: 2,
             ..Default::default()
         })
+        .expect("valid disassociation configuration")
         .anonymize(&dataset);
         assert!(verify_structure(&output.dataset).is_ok(), "{}", real.name());
         assert!(
@@ -75,11 +77,12 @@ fn information_loss_is_moderate_on_a_friendly_workload() {
     // A workload with strong frequent structure: disassociation should keep
     // the top itemsets almost perfectly (the paper reports tKd ≈ 0.05 on POS).
     let dataset = quest(3_000, 200, 7);
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 5,
         m: 2,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let loss = InformationLoss::evaluate(&dataset, &output, &loss_config());
     assert!(
@@ -96,11 +99,12 @@ fn information_loss_grows_with_k() {
     let mut previous_re = -1.0f64;
     let mut last = None;
     for k in [2usize, 5, 15] {
-        let output = Disassociator::new(DisassociationConfig {
+        let output = Disassociator::try_new(DisassociationConfig {
             k,
             m: 2,
             ..Default::default()
         })
+        .expect("valid disassociation configuration")
         .anonymize(&dataset);
         let loss = InformationLoss::evaluate(&dataset, &output, &loss_config());
         last = Some(loss.clone());
@@ -121,11 +125,12 @@ fn information_loss_grows_with_k() {
 #[test]
 fn averaging_reconstructions_improves_or_matches_pair_supports() {
     let dataset = quest(2_000, 150, 21);
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 5,
         m: 2,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let window = pair_window(&dataset, 20..40);
     let mut rng = StdRng::seed_from_u64(17);
@@ -141,11 +146,12 @@ fn averaging_reconstructions_improves_or_matches_pair_supports() {
 #[test]
 fn serde_roundtrip_of_the_published_dataset() {
     let dataset = quest(800, 120, 5);
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 3,
         m: 2,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let json = serde_json::to_string(&output.dataset).unwrap();
     let parsed: disassociation::DisassociatedDataset = serde_json::from_str(&json).unwrap();
@@ -172,15 +178,17 @@ fn parallel_pipeline_matches_serial_on_a_larger_workload() {
         seed: 99,
         ..Default::default()
     };
-    let serial = Disassociator::new(DisassociationConfig {
+    let serial = Disassociator::try_new(DisassociationConfig {
         parallel: false,
         ..base.clone()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
-    let parallel = Disassociator::new(DisassociationConfig {
+    let parallel = Disassociator::try_new(DisassociationConfig {
         parallel: true,
         ..base
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     assert_eq!(serial.dataset, parallel.dataset);
 }
@@ -198,12 +206,13 @@ fn sensitive_terms_stay_isolated_end_to_end() {
         .into_iter()
         .take(3)
         .collect();
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 5,
         m: 2,
         sensitive_terms: sensitive.clone(),
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     assert!(disassociation::diversity::sensitive_terms_isolated(
         &output.dataset,

@@ -31,13 +31,14 @@ fn figure2_dataset() -> (Dataset, Dictionary) {
 
 fn paper_output() -> (Dataset, Dictionary, disassociation::DisassociationOutput) {
     let (dataset, dict) = figure2_dataset();
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 3,
         m: 2,
         max_cluster_size: 6,
         seed: 42,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     (dataset, dict, output)
 }
@@ -108,15 +109,16 @@ fn refining_improves_published_support_bounds() {
     // refining step instead: it never loses information, and the sum of the
     // published per-term support lower bounds does not decrease when it runs.
     let (dataset, dict) = figure2_dataset();
-    let with_refine = Disassociator::new(DisassociationConfig {
+    let with_refine = Disassociator::try_new(DisassociationConfig {
         k: 3,
         m: 2,
         max_cluster_size: 6,
         seed: 42,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
-    let without_refine = Disassociator::new(DisassociationConfig {
+    let without_refine = Disassociator::try_new(DisassociationConfig {
         k: 3,
         m: 2,
         max_cluster_size: 6,
@@ -124,6 +126,7 @@ fn refining_improves_published_support_bounds() {
         enable_refine: false,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let bound_sum = |output: &disassociation::DisassociationOutput| -> u64 {
         dataset
@@ -197,12 +200,13 @@ fn example1_pathology_is_never_published() {
         Record::from_ids([TermId::new(1), TermId::new(2), TermId::new(3)]),
     ];
     let dataset = Dataset::from_records(records);
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: 3,
         m: 2,
         max_cluster_size: 6,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     assert!(verify_structure(&output.dataset).is_ok());
     assert!(verify_attack(&dataset, &output.dataset, &output.cluster_assignment).is_ok());

@@ -49,11 +49,12 @@ fn all_three_methods_satisfy_their_own_guarantee() {
     let taxonomy = taxonomy_for(&dataset);
 
     // Disassociation: k^m-anonymity, verified structurally and by attack.
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: K,
         m: M,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     assert!(disassociation::verify::verify_structure(&output.dataset).is_ok());
     assert!(disassociation::verify::verify_attack(
@@ -93,11 +94,12 @@ fn disassociation_preserves_top_itemsets_better_than_diffpart() {
     let taxonomy = taxonomy_for(&dataset);
     let cfg = tkd_config();
 
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: K,
         m: M,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(1);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
@@ -121,11 +123,12 @@ fn disassociation_preserves_generalized_itemsets_better_than_apriori() {
     let taxonomy = taxonomy_for(&dataset);
     let cfg = tkd_config();
 
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: K,
         m: M,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(2);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
@@ -160,11 +163,12 @@ fn disassociation_pair_supports_beat_diffpart() {
     let taxonomy = taxonomy_for(&dataset);
     let window = pair_window(&dataset, 0..20);
 
-    let output = Disassociator::new(DisassociationConfig {
+    let output = Disassociator::try_new(DisassociationConfig {
         k: K,
         m: M,
         ..Default::default()
     })
+    .expect("valid disassociation configuration")
     .anonymize(&dataset);
     let mut rng = StdRng::seed_from_u64(3);
     let reconstruction = reconstruct(&output.dataset, &mut rng);
