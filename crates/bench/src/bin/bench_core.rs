@@ -1,0 +1,12 @@
+//! Core anonymity-engine workload (see `disassoc_bench::core_bench`): the
+//! VERPART microbenchmark (legacy `Itemset` checker vs dense bitset engine)
+//! and the end-to-end pipeline phase timings, written to
+//! `experiments/out/BENCH_core.json`.
+//!
+//! Usage: `cargo run --release -p disassoc-bench --bin bench_core [--scale N]`
+//! (N divides the 50k-record Quest workload; default 1).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(1);
+    disassoc_bench::core_bench::bench_core(scale).finish();
+}

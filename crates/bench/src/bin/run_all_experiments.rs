@@ -33,6 +33,7 @@ fn main() {
         ("fig11b", figures::fig11b, 40),
         ("fig11c", figures::fig11c, 40),
         ("BENCH_store", disassoc_bench::store_bench::bench_store, 20),
+        ("BENCH_core", disassoc_bench::core_bench::bench_core, 1),
     ];
     for (name, fun, default_scale) in runs {
         let scale = default_scale.saturating_mul(extra).max(1);

@@ -1,0 +1,205 @@
+//! Core anonymity-engine workload (`BENCH_core`): the perf trajectory of the
+//! k^m-anonymity hot path.
+//!
+//! Two series over a Quest workload at the paper's default k = 5, m = 2:
+//!
+//! * `verpart_ubench` — the VERPART greedy domain construction (the
+//!   `can_add` inner loop, isolated from shuffling and materialization) run
+//!   once per cluster with the legacy `Itemset`-based [`ReferenceChecker`]
+//!   and once with the dense [`IncrementalChecker`] — the engines must take
+//!   identical decisions, so the speedup column is apples-to-apples;
+//! * `end_to_end` — the full pipeline (HorPart, VerPart, Refine) on the
+//!   same records, phase by phase.
+//!
+//! Every later engine PR reruns this to extend `experiments/out/BENCH_core.json`.
+
+use crate::experiment::{ExperimentReport, Series};
+use crate::workloads::quest_scaled;
+use disassociation::anonymity::{IncrementalChecker, ReferenceChecker};
+use disassociation::horpart::{self, horizontal_partition};
+use disassociation::{DisassociationConfig, Disassociator};
+use std::collections::BTreeSet;
+use std::time::Instant;
+use transact::{Record, SupportMap, TermId};
+
+/// The privacy parameters of the paper's default evaluation setting.
+const K: usize = 5;
+const M: usize = 2;
+
+/// Runs the core-engine workload at `1/scale` of a 50k-record Quest default
+/// and reports the `BENCH_core.json` trajectory.
+pub fn bench_core(scale: usize) -> ExperimentReport {
+    let scale = scale.max(1);
+    let records = (50_000 / scale).max(100);
+    let workload = quest_scaled(records, 5_000, 10.0, 77);
+    let mut report = ExperimentReport::new(
+        "BENCH_core",
+        "k^m-anonymity engine: VERPART microbench (legacy vs dense) + end-to-end",
+        &format!("quest {records} records, k={K}, m={M}"),
+        scale,
+    );
+
+    // Cluster the dataset exactly like the pipeline does, so the microbench
+    // sees the real cluster-size and term-skew distribution.
+    let config = DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    };
+    let mut partition = horizontal_partition(
+        &workload.dataset,
+        config.effective_max_cluster_size(),
+        &BTreeSet::new(),
+    );
+    horpart::merge_small_clusters(&mut partition, K);
+    let clusters: Vec<Vec<Record>> = partition
+        .clusters
+        .iter()
+        .map(|indices| {
+            indices
+                .iter()
+                .map(|&i| workload.dataset.records()[i].clone())
+                .collect()
+        })
+        .collect();
+
+    // The candidate ordering (support counting) is identical for both
+    // engines, so it is computed outside the timed sections: the microbench
+    // measures checker work, nothing else.
+    let candidates: Vec<Vec<TermId>> = clusters
+        .iter()
+        .map(|records| candidate_order(records))
+        .collect();
+
+    // Legacy pass.
+    let started = Instant::now();
+    let legacy_accepted: usize = clusters
+        .iter()
+        .zip(&candidates)
+        .map(|(records, cand)| greedy_domains(ReferenceChecker::new(records, K, M), cand))
+        .sum();
+    let legacy_secs = started.elapsed().as_secs_f64();
+
+    // Dense pass.
+    let started = Instant::now();
+    let dense_accepted: usize = clusters
+        .iter()
+        .zip(&candidates)
+        .map(|(records, cand)| greedy_domains(IncrementalChecker::new(records, K, M), cand))
+        .sum();
+    let dense_secs = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        legacy_accepted, dense_accepted,
+        "the engines must take identical greedy decisions"
+    );
+
+    let mut ubench = Series::new("verpart_ubench");
+    ubench.push("legacy_s", legacy_secs);
+    ubench.push("dense_s", dense_secs);
+    ubench.push("speedup", legacy_secs / dense_secs.max(1e-9));
+    ubench.push("clusters", clusters.len() as f64);
+    ubench.push("accepted_terms", dense_accepted as f64);
+    report.add_series(ubench);
+
+    // End-to-end pipeline with the dense engine.
+    let started = Instant::now();
+    let output = Disassociator::new(config).anonymize_owned(workload.dataset.clone());
+    let total = started.elapsed().as_secs_f64();
+    let mut e2e = Series::new("end_to_end");
+    e2e.push("horpart_s", output.phase_seconds[0]);
+    e2e.push("verpart_s", output.phase_seconds[1]);
+    e2e.push("refine_s", output.phase_seconds[2]);
+    e2e.push("total_s", total);
+    e2e.push("records_per_s", records as f64 / total.max(1e-9));
+    report.add_series(e2e);
+
+    report
+}
+
+/// The candidate order VERPART feeds the checker: descending support,
+/// support-< k terms dropped (they go straight to the term chunk).
+fn candidate_order(records: &[Record]) -> Vec<TermId> {
+    let supports = SupportMap::from_records(records.iter());
+    supports
+        .terms_by_descending_support()
+        .into_iter()
+        .filter(|&t| supports.support(t) as usize >= K)
+        .collect()
+}
+
+/// The operations the greedy replay needs from either engine, so both
+/// passes run the exact same loop (apples-to-apples speedup).
+trait GreedyChecker {
+    fn can_add(&mut self, t: TermId) -> bool;
+    fn add(&mut self, t: TermId);
+    fn reset(&mut self);
+}
+
+impl GreedyChecker for IncrementalChecker<'_> {
+    fn can_add(&mut self, t: TermId) -> bool {
+        IncrementalChecker::can_add(self, t)
+    }
+    fn add(&mut self, t: TermId) {
+        IncrementalChecker::add(self, t)
+    }
+    fn reset(&mut self) {
+        IncrementalChecker::reset(self)
+    }
+}
+
+impl GreedyChecker for ReferenceChecker<'_> {
+    fn can_add(&mut self, t: TermId) -> bool {
+        ReferenceChecker::can_add(self, t)
+    }
+    fn add(&mut self, t: TermId) {
+        ReferenceChecker::add(self, t)
+    }
+    fn reset(&mut self) {
+        ReferenceChecker::reset(self)
+    }
+}
+
+/// VERPART's greedy domain construction (chunk rounds until no candidate is
+/// accepted); returns the total number of accepted terms so the two engine
+/// passes can be cross-checked against each other.
+fn greedy_domains<C: GreedyChecker>(mut checker: C, candidates: &[TermId]) -> usize {
+    let mut remaining = candidates.to_vec();
+    let mut accepted_total = 0usize;
+    while !remaining.is_empty() {
+        checker.reset();
+        let mut rejected = Vec::new();
+        let mut accepted = 0usize;
+        for &t in &remaining {
+            if checker.can_add(t) {
+                checker.add(t);
+                accepted += 1;
+            } else {
+                rejected.push(t);
+            }
+        }
+        if accepted == 0 {
+            break;
+        }
+        accepted_total += accepted;
+        remaining = rejected;
+    }
+    accepted_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_produces_both_series_and_matching_engines() {
+        let report = bench_core(500);
+        assert_eq!(report.id, "BENCH_core");
+        let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["verpart_ubench", "end_to_end"]);
+        let ubench = &report.series[0];
+        assert!(ubench.points.iter().any(|(x, _)| x == "legacy_s"));
+        assert!(ubench.points.iter().any(|(x, _)| x == "dense_s"));
+        assert!(ubench.points.iter().any(|(x, _)| x == "speedup"));
+    }
+}

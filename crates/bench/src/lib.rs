@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod core_bench;
 pub mod experiment;
 pub mod figures;
 pub mod store_bench;

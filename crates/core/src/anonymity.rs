@@ -5,15 +5,91 @@
 //! `k` subrecords (Section 3).  It is **k-anonymous** when every distinct
 //! non-empty subrecord value appears at least `k` times; k-anonymity implies
 //! k^m-anonymity for every `m` (needed by Property 1 for shared chunks).
+//!
+//! ## The dense engine
+//!
+//! These checks dominate end-to-end anonymization time (VERPART calls
+//! [`IncrementalChecker::can_add`] once per candidate term per greedy round
+//! per cluster), so the module has two implementations:
+//!
+//! * the **dense engine** (default): the cluster domain is interned into
+//!   `u16` dense ids ([`transact::dense::DenseDomain`]), records become
+//!   fixed-width bitsets ([`transact::dense::BitRecord`]) so projection is a
+//!   word-wise `AND`, and combinations are counted under packed `u64` keys
+//!   ([`transact::dense::PackedCombo`]) in a scratch map that is *cleared,
+//!   never reallocated*, across calls.  For the paper's default `m = 2` the
+//!   subset enumeration collapses entirely: a per-cluster **pair-count
+//!   triangle** is built once and `can_add` becomes one lookup per term of
+//!   the current domain, early-exiting on the first sub-`k` pair;
+//! * the **reference implementation** ([`combination_counts`],
+//!   [`is_km_anonymous_reference`], [`ReferenceChecker`]): the original
+//!   `Itemset`-keyed counting.  It remains the property-tested oracle the
+//!   dense engine is checked against, and the fallback for `m >`
+//!   [`PACK_ARITY`] or domains beyond `u16` (never reached by realistic
+//!   clusters).
+//!
+//! Both implementations answer every query identically — the engine changes
+//! speed, not results (pinned by the output-bytes regression tests).
 
 use std::collections::HashMap;
-use transact::itemset::{for_each_subset_containing, for_each_subset_up_to};
-use transact::{Itemset, Record, TermId};
+use transact::dense::{for_each_packed_subset, ComboCountMap, PackedCombo, PACK_ARITY};
+use transact::itemset::{for_each_subset_containing, for_each_subset_up_to, subset_count};
+use transact::{BitRecord, DenseDomain, Itemset, Record, TermId};
+
+/// Domain-size ceiling for the m = 2 pair-count triangle (above it the
+/// triangle would cost O(d²) memory; the checker switches to a sparse
+/// per-call counting array instead).
+const TRIANGLE_MAX_DOMAIN: usize = 1024;
+
+/// Cap on the pre-allocated capacity of [`combination_counts`] (the subset
+/// count is an upper bound on the number of *distinct* combinations, so a
+/// pathological chunk must not translate into a gigabyte reservation).
+const COUNTS_CAPACITY_CAP: u64 = 1 << 20;
 
 /// Whether `subrecords` form a k^m-anonymous chunk.
 ///
 /// Empty subrecords are ignored: they contain no term combination.
+///
+/// Uses the dense packed-combination engine for `m ≤ 4` (the paper evaluates
+/// m = 2, 3), falling back to [`is_km_anonymous_reference`] beyond that.
 pub fn is_km_anonymous(subrecords: &[Record], k: usize, m: usize) -> bool {
+    if k <= 1 || m == 0 || subrecords.is_empty() {
+        return true;
+    }
+    if m > PACK_ARITY {
+        return is_km_anonymous_reference(subrecords, k, m);
+    }
+    let Some(domain) = DenseDomain::from_records(subrecords.iter()) else {
+        return is_km_anonymous_reference(subrecords, k, m);
+    };
+    let mut scratch: Vec<u16> = Vec::new();
+    if m == 1 {
+        // Only singletons matter: per-term supports.
+        let mut supports = vec![0u32; domain.len()];
+        for r in subrecords {
+            for t in r.iter() {
+                supports[domain.dense_of(t).expect("term interned") as usize] += 1;
+            }
+        }
+        return supports.iter().all(|&s| s == 0 || s as usize >= k);
+    }
+    let mut counts = ComboCountMap::default();
+    for r in subrecords {
+        scratch.clear();
+        scratch.extend(r.iter().map(|t| domain.dense_of(t).expect("term interned")));
+        for_each_packed_subset(&scratch, m, |combo| {
+            *counts.entry(combo).or_insert(0) += 1;
+        });
+    }
+    counts.values().all(|&c| c as usize >= k)
+}
+
+/// Reference implementation of [`is_km_anonymous`]: exhaustive
+/// `Itemset`-keyed counting via [`combination_counts`].
+///
+/// Kept as the oracle the dense engine is property-tested against, and as
+/// the fallback for `m > PACK_ARITY`.
+pub fn is_km_anonymous_reference(subrecords: &[Record], k: usize, m: usize) -> bool {
     if k <= 1 || m == 0 {
         return true;
     }
@@ -23,8 +99,25 @@ pub fn is_km_anonymous(subrecords: &[Record], k: usize, m: usize) -> bool {
 
 /// Counts the support of every term combination of size `1..=m` appearing in
 /// the subrecords.
+///
+/// The map is pre-sized from [`subset_count`] so counting large chunks
+/// doesn't rehash repeatedly.  Two upper bounds on the number of distinct
+/// combinations are taken (subsets summed per record count *multiplicity*,
+/// so duplicated records would overshoot; subsets of the chunk's distinct
+/// domain bound what can exist at all), capped so pathological chunks don't
+/// over-reserve.
 pub fn combination_counts(subrecords: &[Record], m: usize) -> HashMap<Itemset, u64> {
-    let mut counts: HashMap<Itemset, u64> = HashMap::new();
+    let per_record = subrecords
+        .iter()
+        .map(|r| subset_count(r.len(), m))
+        .fold(0u64, u64::saturating_add);
+    let mut domain: Vec<TermId> = subrecords.iter().flat_map(|r| r.iter()).collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let estimate = per_record
+        .min(subset_count(domain.len(), m))
+        .min(COUNTS_CAPACITY_CAP);
+    let mut counts: HashMap<Itemset, u64> = HashMap::with_capacity(estimate as usize);
     for r in subrecords {
         for_each_subset_up_to(r.terms(), m, |subset| {
             *counts.entry(Itemset(subset.to_vec())).or_insert(0) += 1;
@@ -49,15 +142,356 @@ pub fn is_k_anonymous(subrecords: &[Record], k: usize) -> bool {
     counts.values().all(|&c| c >= k)
 }
 
-/// Incremental k^m-anonymity tester used by VERPART.
+// ---------------------------------------------------------------------------
+// The incremental checker (dense engine)
+// ---------------------------------------------------------------------------
+
+/// Incremental k^m-anonymity tester used by VERPART and REFINE.
 ///
-/// The greedy vertical partitioning repeatedly asks "does the chunk stay
+/// The greedy chunk construction repeatedly asks "does the chunk stay
 /// k^m-anonymous if term `t` joins the current domain `T_cur`?".  Because the
 /// chunk over `T_cur` is k^m-anonymous by construction, only combinations
-/// *containing `t`* can be violated, so the tester projects each cluster
-/// record onto `T_cur ∪ {t}` and counts just those combinations.
+/// *containing `t`* can be violated, so the tester counts just those.
+///
+/// Internally this runs on the dense engine (bitset records, packed
+/// combination keys, reusable scratch buffers — see the module docs); it
+/// falls back to the [`ReferenceChecker`] algorithm for `m > PACK_ARITY` or
+/// domains larger than a `u16`.  `can_add` takes `&mut self` because the
+/// scratch buffers are reused — cleared, never reallocated — across calls.
 #[derive(Debug)]
 pub struct IncrementalChecker<'a> {
+    k: usize,
+    m: usize,
+    inner: Inner<'a>,
+}
+
+#[derive(Debug)]
+enum Inner<'a> {
+    Dense(Box<DenseChecker>),
+    Reference(ReferenceChecker<'a>),
+}
+
+impl<'a> IncrementalChecker<'a> {
+    /// Creates a checker over the cluster `records` with an empty domain.
+    pub fn new(records: &'a [Record], k: usize, m: usize) -> Self {
+        let inner = if m > PACK_ARITY {
+            Inner::Reference(ReferenceChecker::new(records, k, m))
+        } else {
+            match DenseChecker::build(records, k, m) {
+                Some(dense) => Inner::Dense(Box::new(dense)),
+                None => Inner::Reference(ReferenceChecker::new(records, k, m)),
+            }
+        };
+        IncrementalChecker { k, m, inner }
+    }
+
+    /// The current chunk domain (sorted ascending).
+    pub fn domain(&self) -> &[TermId] {
+        match &self.inner {
+            Inner::Dense(d) => &d.current_terms,
+            Inner::Reference(r) => r.domain(),
+        }
+    }
+
+    /// Whether adding `t` keeps the chunk k^m-anonymous.
+    pub fn can_add(&mut self, t: TermId) -> bool {
+        if self.k <= 1 || self.m == 0 {
+            return true;
+        }
+        match &mut self.inner {
+            Inner::Dense(d) => d.can_add(t),
+            Inner::Reference(r) => r.can_add(t),
+        }
+    }
+
+    /// Adds `t` to the chunk domain (the caller has already established that
+    /// the chunk stays anonymous, or deliberately forces the addition).
+    pub fn add(&mut self, t: TermId) {
+        match &mut self.inner {
+            Inner::Dense(d) => d.add(t),
+            Inner::Reference(r) => r.add(t),
+        }
+    }
+
+    /// Resets the domain to empty (to start building the next chunk).
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            Inner::Dense(d) => d.reset(),
+            Inner::Reference(r) => r.reset(),
+        }
+    }
+
+    /// Materializes the projection of every record onto the current domain
+    /// (one `Record` per input record, in input order, possibly empty).
+    ///
+    /// Equal to `records[i].project_sorted(self.domain())` for every `i` —
+    /// VERPART reuses this to publish the chunk it just built instead of
+    /// re-projecting every record.
+    pub fn projections(&self) -> Vec<Record> {
+        match &self.inner {
+            Inner::Dense(d) => d.projections(),
+            Inner::Reference(r) => r.projections().to_vec(),
+        }
+    }
+}
+
+/// The m = 2 counting strategy of the dense checker.
+#[derive(Debug)]
+enum PairCounts {
+    /// Full co-occurrence triangle, built once per cluster: `can_add(t)` is
+    /// one lookup per current-domain term.  Entry `(a, b)` with `a < b` is
+    /// the number of records containing both terms.
+    Triangle(Vec<u32>),
+    /// Sparse per-call counting (domains too large for the triangle):
+    /// `scratch[u]` accumulates the co-occurrence of `t` with `u` over the
+    /// records containing `t`; `touched` remembers which entries to reset.
+    Sparse {
+        scratch: Vec<u32>,
+        touched: Vec<u16>,
+    },
+}
+
+/// The dense-engine state behind [`IncrementalChecker`].
+#[derive(Debug)]
+struct DenseChecker {
+    k: usize,
+    m: usize,
+    /// Cluster-local interning of the record terms.
+    domain: DenseDomain,
+    /// One fixed-width bitset per record.
+    bits: Vec<BitRecord>,
+    /// Cluster support per dense id.
+    supports: Vec<u32>,
+    /// Bitset of the current chunk domain.
+    current: BitRecord,
+    /// Current domain as sorted `TermId`s (may include terms absent from
+    /// every record — mirrors the reference checker's bookkeeping).
+    current_terms: Vec<TermId>,
+    /// Current domain as sorted dense ids (only terms present in records).
+    current_dense: Vec<u16>,
+    /// m = 2 fast path state.
+    pairs: Option<PairCounts>,
+    /// Packed-combination counting scratch (m ≥ 3): cleared, never
+    /// reallocated, across `can_add` calls.
+    counts: ComboCountMap,
+    /// Reusable buffer for a record's projected dense ids.
+    scratch_ids: Vec<u16>,
+}
+
+impl DenseChecker {
+    /// Builds the dense state, or `None` when the cluster domain does not
+    /// fit `u16` dense ids.
+    fn build(records: &[Record], k: usize, m: usize) -> Option<DenseChecker> {
+        let domain = DenseDomain::from_records(records.iter())?;
+        let words = domain.words();
+        let mut supports = vec![0u32; domain.len()];
+        let mut bits = Vec::with_capacity(records.len());
+        for r in records {
+            let b = domain.bit_record(r);
+            b.for_each(|d| supports[d as usize] += 1);
+            bits.push(b);
+        }
+        let pairs = if m == 2 && k > 1 {
+            Some(if domain.len() <= TRIANGLE_MAX_DOMAIN {
+                let mut tri = vec![0u32; domain.len() * domain.len().saturating_sub(1) / 2];
+                let mut ids: Vec<u16> = Vec::new();
+                for b in &bits {
+                    ids.clear();
+                    b.for_each(|d| ids.push(d));
+                    for j in 1..ids.len() {
+                        for i in 0..j {
+                            tri[tri_index(ids[i], ids[j])] += 1;
+                        }
+                    }
+                }
+                PairCounts::Triangle(tri)
+            } else {
+                PairCounts::Sparse {
+                    scratch: vec![0u32; domain.len()],
+                    touched: Vec::new(),
+                }
+            })
+        } else {
+            None
+        };
+        Some(DenseChecker {
+            k,
+            m,
+            domain,
+            bits,
+            supports,
+            current: BitRecord::zeroed(words),
+            current_terms: Vec::new(),
+            current_dense: Vec::new(),
+            pairs,
+            counts: ComboCountMap::default(),
+            scratch_ids: Vec::new(),
+        })
+    }
+
+    fn can_add(&mut self, t: TermId) -> bool {
+        let Some(dt) = self.domain.dense_of(t) else {
+            // `t` appears in no record: no combination involves it.
+            return true;
+        };
+        let support = self.supports[dt as usize];
+        if support == 0 {
+            return true;
+        }
+        // The singleton {t} has count = support(t); every larger combination
+        // containing t appears at most that often, so this rejects early.
+        if (support as usize) < self.k {
+            return false;
+        }
+        if self.m == 1 {
+            return true;
+        }
+        match &mut self.pairs {
+            // m = 2: the only new combinations are {t} (checked above) and
+            // {t, u} for current-domain terms u.  Their counts are the plain
+            // pair co-occurrences — independent of the current domain — so
+            // the triangle answers each in O(1), earliest exit wins.
+            Some(PairCounts::Triangle(tri)) => self.current_dense.iter().all(|&u| {
+                let c = tri[tri_index(dt.min(u), dt.max(u))];
+                c == 0 || c as usize >= self.k
+            }),
+            Some(PairCounts::Sparse { scratch, touched }) => {
+                touched.clear();
+                for b in &self.bits {
+                    if !b.contains(dt) {
+                        continue;
+                    }
+                    b.for_each_and(&self.current, |u| {
+                        if scratch[u as usize] == 0 {
+                            touched.push(u);
+                        }
+                        scratch[u as usize] += 1;
+                    });
+                }
+                let ok = touched
+                    .iter()
+                    .all(|&u| scratch[u as usize] as usize >= self.k);
+                for &u in touched.iter() {
+                    scratch[u as usize] = 0;
+                }
+                ok
+            }
+            // m ∈ 3..=PACK_ARITY: count every combination {t} ∪ S with
+            // S a non-empty subset of the projected record, |S| < m, under
+            // packed keys (S ascending, t in the last lane — canonical for a
+            // fixed t).  The map is cleared, never reallocated.
+            None => {
+                let (k, m) = (self.k, self.m);
+                self.counts.clear();
+                for b in &self.bits {
+                    if !b.contains(dt) {
+                        continue;
+                    }
+                    self.scratch_ids.clear();
+                    b.collect_and_into(&self.current, &mut self.scratch_ids);
+                    for_each_subset_with(&self.scratch_ids, dt, m - 1, |combo| {
+                        *self.counts.entry(combo).or_insert(0) += 1;
+                    });
+                }
+                self.counts.values().all(|&c| c as usize >= k)
+            }
+        }
+    }
+
+    fn add(&mut self, t: TermId) {
+        if let Err(pos) = self.current_terms.binary_search(&t) {
+            self.current_terms.insert(pos, t);
+        }
+        if let Some(dt) = self.domain.dense_of(t) {
+            if !self.current.contains(dt) {
+                self.current.set(dt);
+                if let Err(pos) = self.current_dense.binary_search(&dt) {
+                    self.current_dense.insert(pos, dt);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current.clear_all();
+        self.current_terms.clear();
+        self.current_dense.clear();
+    }
+
+    fn projections(&self) -> Vec<Record> {
+        self.bits
+            .iter()
+            .map(|b| {
+                let mut terms: Vec<TermId> = Vec::new();
+                b.for_each_and(&self.current, |d| terms.push(self.domain.term_of(d)));
+                // Dense-id order is term-id order, so `terms` is sorted.
+                Record::from_ids(terms)
+            })
+            .collect()
+    }
+}
+
+/// Triangle index of the (unordered) pair `a < b`.
+#[inline]
+fn tri_index(a: u16, b: u16) -> usize {
+    debug_assert!(a < b);
+    (b as usize) * (b as usize - 1) / 2 + a as usize
+}
+
+/// Enumerates `{distinguished} ∪ S` for every subset `S ⊆ ids` with
+/// `1 ≤ |S| ≤ max_others`, packed as (S ascending, distinguished last).
+/// For a fixed distinguished id the keys are canonical.
+fn for_each_subset_with<F: FnMut(PackedCombo)>(
+    ids: &[u16],
+    distinguished: u16,
+    max_others: usize,
+    mut f: F,
+) {
+    debug_assert!(max_others < PACK_ARITY);
+    fn recurse<F: FnMut(PackedCombo)>(
+        ids: &[u16],
+        start: usize,
+        depth: usize,
+        max_others: usize,
+        prefix: PackedCombo,
+        distinguished: u16,
+        f: &mut F,
+    ) {
+        for i in start..ids.len() {
+            let combo = prefix.extended(depth, ids[i]);
+            f(combo.extended(depth + 1, distinguished));
+            if depth + 1 < max_others {
+                recurse(ids, i + 1, depth + 1, max_others, combo, distinguished, f);
+            }
+        }
+    }
+    if max_others == 0 || ids.is_empty() {
+        return;
+    }
+    recurse(
+        ids,
+        0,
+        0,
+        max_others,
+        PackedCombo::EMPTY,
+        distinguished,
+        &mut f,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The reference checker (Itemset oracle)
+// ---------------------------------------------------------------------------
+
+/// The original `Itemset`-based incremental checker.
+///
+/// Maintains explicit projection records and counts combinations under
+/// heap-allocated [`Itemset`] keys.  It answers every query identically to
+/// the dense [`IncrementalChecker`] — kept as the property-test oracle, the
+/// `m > PACK_ARITY` fallback, and the baseline the `bench_core` VERPART
+/// microbenchmark measures the dense engine against.
+#[derive(Debug)]
+pub struct ReferenceChecker<'a> {
     /// The cluster's original records.
     records: &'a [Record],
     /// Current chunk domain (sorted).
@@ -68,10 +502,10 @@ pub struct IncrementalChecker<'a> {
     m: usize,
 }
 
-impl<'a> IncrementalChecker<'a> {
+impl<'a> ReferenceChecker<'a> {
     /// Creates a checker over the cluster `records` with an empty domain.
     pub fn new(records: &'a [Record], k: usize, m: usize) -> Self {
-        IncrementalChecker {
+        ReferenceChecker {
             records,
             current_domain: Vec::new(),
             projections: vec![Record::new(); records.len()],
@@ -110,8 +544,7 @@ impl<'a> IncrementalChecker<'a> {
         counts.values().all(|&c| c as usize >= self.k)
     }
 
-    /// Adds `t` to the chunk domain (the caller has already established that
-    /// the chunk stays anonymous, or deliberately forces the addition).
+    /// Adds `t` to the chunk domain.
     pub fn add(&mut self, t: TermId) {
         if let Err(pos) = self.current_domain.binary_search(&t) {
             self.current_domain.insert(pos, t);
@@ -194,6 +627,39 @@ mod tests {
     }
 
     #[test]
+    fn dense_and_reference_checks_agree_across_m() {
+        let subrecords = vec![
+            rec(&[1, 2, 3, 4]),
+            rec(&[1, 2, 3]),
+            rec(&[1, 2, 3, 4, 5]),
+            rec(&[2, 3, 4]),
+            rec(&[1, 3, 4, 5]),
+        ];
+        for k in 2..=5 {
+            for m in 1..=6 {
+                assert_eq!(
+                    is_km_anonymous(&subrecords, k, m),
+                    is_km_anonymous_reference(&subrecords, k, m),
+                    "k={k} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m_above_pack_arity_uses_the_fallback() {
+        // m = 5 exceeds PACK_ARITY: both entry points must agree (and the
+        // violation — the 5-subset {1..5} appears only twice — is found).
+        let subrecords = vec![rec(&[1, 2, 3, 4, 5]), rec(&[1, 2, 3, 4, 5])];
+        assert!(is_km_anonymous(&subrecords, 2, 5));
+        assert!(!is_km_anonymous(&subrecords, 3, 5));
+        assert_eq!(
+            is_km_anonymous(&subrecords, 3, 5),
+            is_km_anonymous_reference(&subrecords, 3, 5)
+        );
+    }
+
+    #[test]
     fn k_anonymity_counts_identical_subrecords() {
         let subrecords = vec![rec(&[1, 2]), rec(&[1, 2]), rec(&[1, 2])];
         assert!(is_k_anonymous(&subrecords, 3));
@@ -248,6 +714,7 @@ mod tests {
                     .map(|r| r.project_sorted(checker.domain()))
                     .collect();
                 assert!(is_km_anonymous(&projections, k, m));
+                assert_eq!(checker.projections(), projections);
             }
         }
         // itunes, flu, madonna are mutually frequent enough (each pair ≥ 3);
@@ -277,6 +744,86 @@ mod tests {
         assert_eq!(checker.domain(), &[tid(1)]);
         checker.reset();
         assert!(checker.domain().is_empty());
+        assert!(checker.projections().iter().all(Record::is_empty));
+    }
+
+    /// Runs a full greedy pass with both checkers and asserts identical
+    /// accept/reject decisions, domains and projections.
+    fn assert_checkers_agree(records: &[Record], candidates: &[TermId], k: usize, m: usize) {
+        let mut dense = IncrementalChecker::new(records, k, m);
+        let mut reference = ReferenceChecker::new(records, k, m);
+        for &t in candidates {
+            let a = dense.can_add(t);
+            let b = reference.can_add(t);
+            assert_eq!(a, b, "can_add({t}) diverges for k={k} m={m}");
+            if a {
+                dense.add(t);
+                reference.add(t);
+            }
+        }
+        assert_eq!(dense.domain(), reference.domain());
+        assert_eq!(dense.projections(), reference.projections());
+    }
+
+    #[test]
+    fn dense_checker_matches_reference_on_figure2() {
+        let records = vec![
+            rec(&[0, 1, 2, 5, 7]),
+            rec(&[2, 1, 6, 7, 3, 4]),
+            rec(&[0, 2, 3, 5, 4]),
+            rec(&[0, 1, 6]),
+            rec(&[0, 1, 2, 3, 4]),
+        ];
+        let candidates: Vec<TermId> = (0..8).map(tid).collect();
+        for k in 2..=4 {
+            for m in 1..=5 {
+                assert_checkers_agree(&records, &candidates, k, m);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_checker_m3_packed_path_matches_reference() {
+        // Records long enough that triples matter.
+        let records = vec![
+            rec(&[1, 2, 3, 4, 5]),
+            rec(&[1, 2, 3, 4]),
+            rec(&[1, 2, 3, 5]),
+            rec(&[2, 3, 4, 5]),
+            rec(&[1, 2, 4, 5]),
+            rec(&[1, 3, 4, 5]),
+        ];
+        let candidates: Vec<TermId> = (1..=5).map(tid).collect();
+        for k in 2..=4 {
+            assert_checkers_agree(&records, &candidates, k, 3);
+            assert_checkers_agree(&records, &candidates, k, 4);
+        }
+    }
+
+    #[test]
+    fn sparse_pair_path_matches_triangle_beyond_the_domain_ceiling() {
+        // > TRIANGLE_MAX_DOMAIN distinct terms forces the sparse m = 2 path.
+        let wide: Vec<u32> = (0..1100).collect();
+        let mut records: Vec<Record> = vec![rec(&wide), rec(&wide)];
+        records.push(rec(&[0, 1, 2]));
+        records.push(rec(&[0, 1, 3]));
+        let candidates: Vec<TermId> = (0..6).map(tid).collect();
+        for k in 2..=3 {
+            assert_checkers_agree(&records, &candidates, k, 2);
+        }
+        assert_eq!(
+            is_km_anonymous(&records, 2, 2),
+            is_km_anonymous_reference(&records, 2, 2)
+        );
+    }
+
+    #[test]
+    fn term_absent_from_every_record_is_always_addable() {
+        let records = vec![rec(&[1, 2]), rec(&[1, 2])];
+        let mut checker = IncrementalChecker::new(&records, 2, 2);
+        assert!(checker.can_add(tid(99)), "no record contains 99");
+        checker.add(tid(99));
+        assert_eq!(checker.domain(), &[tid(99)]);
         assert!(checker.projections().iter().all(Record::is_empty));
     }
 }

@@ -199,7 +199,20 @@ impl Disassociator {
     }
 
     /// Anonymizes `dataset`, producing the published form plus bookkeeping.
+    ///
+    /// Clones the records once (the work clusters own their records); a
+    /// caller that owns the dataset should prefer
+    /// [`Disassociator::anonymize_owned`], which moves them instead.
     pub fn anonymize(&self, dataset: &Dataset) -> DisassociationOutput {
+        self.anonymize_owned(dataset.clone())
+    }
+
+    /// Anonymizes an owned `dataset` without cloning any record: after
+    /// horizontal partitioning the records are *moved* into their clusters
+    /// (each record is built exactly once and shared — borrowed by
+    /// `vertical_partition`, then owned by the [`WorkCluster`] the refining
+    /// step reads).  This is the entry point the batch pipeline uses.
+    pub fn anonymize_owned(&self, dataset: Dataset) -> DisassociationOutput {
         let cfg = &self.config;
         let t0 = std::time::Instant::now();
 
@@ -207,12 +220,32 @@ impl Disassociator {
         // folded into a neighbour: the Lemma 1/2 padding arguments need at
         // least k records per cluster.
         let mut partition = horizontal_partition(
-            dataset,
+            &dataset,
             cfg.effective_max_cluster_size(),
             &cfg.sensitive_terms,
         );
         horpart::merge_small_clusters(&mut partition, cfg.k);
         let t1 = std::time::Instant::now();
+
+        // Move every record into its cluster (the clusters partition the
+        // record indices, so each slot is taken exactly once).
+        let mut slots: Vec<Option<transact::Record>> =
+            dataset.into_records().into_iter().map(Some).collect();
+        let cluster_records: Vec<Vec<transact::Record>> = partition
+            .clusters
+            .iter()
+            .map(|indices| {
+                indices
+                    .iter()
+                    .map(|&idx| {
+                        slots[idx]
+                            .take()
+                            .expect("horizontal partition assigns each record to one cluster")
+                    })
+                    .collect()
+            })
+            .collect();
+        drop(slots);
 
         // Phase 2: vertical partitioning (per cluster, optionally parallel).
         let vp_options = VerPartOptions {
@@ -220,9 +253,9 @@ impl Disassociator {
             shuffle: true,
         };
         let clusters: Vec<WorkCluster> = if cfg.parallel && partition.len() > 1 {
-            self.vertical_parallel(dataset, &partition.clusters, &vp_options)
+            self.vertical_parallel(&partition.clusters, cluster_records, &vp_options)
         } else {
-            self.vertical_serial(dataset, &partition.clusters, &vp_options)
+            self.vertical_serial(&partition.clusters, cluster_records, &vp_options)
         };
         let t2 = std::time::Instant::now();
 
@@ -263,27 +296,34 @@ impl Disassociator {
 
     fn vertical_serial(
         &self,
-        dataset: &Dataset,
         clusters: &[Vec<usize>],
+        cluster_records: Vec<Vec<transact::Record>>,
         options: &VerPartOptions,
     ) -> Vec<WorkCluster> {
         clusters
             .iter()
+            .zip(cluster_records)
             .enumerate()
-            .map(|(i, indices)| self.partition_one(dataset, i, indices, options))
+            .map(|(i, (indices, records))| self.partition_one(i, indices, records, options))
             .collect()
     }
 
     fn vertical_parallel(
         &self,
-        dataset: &Dataset,
         clusters: &[Vec<usize>],
+        cluster_records: Vec<Vec<transact::Record>>,
         options: &VerPartOptions,
     ) -> Vec<WorkCluster> {
         let n_threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(clusters.len().max(1));
+        // Each worker takes ownership of a cluster's records through its
+        // input slot and parks the result in the matching output slot.
+        let inputs: Vec<parking_lot::Mutex<Option<Vec<transact::Record>>>> = cluster_records
+            .into_iter()
+            .map(|records| parking_lot::Mutex::new(Some(records)))
+            .collect();
         let results: Vec<parking_lot::Mutex<Option<WorkCluster>>> = (0..clusters.len())
             .map(|_| parking_lot::Mutex::new(None))
             .collect();
@@ -295,7 +335,8 @@ impl Disassociator {
                     if i >= clusters.len() {
                         break;
                     }
-                    let work = self.partition_one(dataset, i, &clusters[i], options);
+                    let records = inputs[i].lock().take().expect("cluster input taken once");
+                    let work = self.partition_one(i, &clusters[i], records, options);
                     *results[i].lock() = Some(work);
                 });
             }
@@ -309,15 +350,11 @@ impl Disassociator {
 
     fn partition_one(
         &self,
-        dataset: &Dataset,
         cluster_index: usize,
         indices: &[usize],
+        records: Vec<transact::Record>,
         options: &VerPartOptions,
     ) -> WorkCluster {
-        let records: Vec<transact::Record> = indices
-            .iter()
-            .map(|&idx| dataset.records()[idx].clone())
-            .collect();
         let mut rng = StdRng::seed_from_u64(
             self.config.seed ^ (cluster_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
         );

@@ -821,7 +821,7 @@ fn run_serial(
             Some(r) => r,
         };
         let len = records.len();
-        let output = disassociator.anonymize(&Dataset::from_records(records));
+        let output = disassociator.anonymize_owned(Dataset::from_records(records));
         let batch = BatchOutput {
             batch_index: summary.batches,
             record_offset: summary.records,
@@ -889,7 +889,7 @@ fn run_parallel(
                 // queue, a local unwind would leave the driver blocked on
                 // `done_rx.recv()` forever (deadlock, not failure).
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    disassociator.anonymize(&Dataset::from_records(records))
+                    disassociator.anonymize_owned(Dataset::from_records(records))
                 }));
                 let (done, poisoned) = match result {
                     Ok(output) => (

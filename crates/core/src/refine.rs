@@ -16,7 +16,7 @@
 //!   already published in record or shared chunks below the joint), which
 //!   closes the inference channel illustrated in Figure 5a.
 
-use crate::anonymity::{is_k_anonymous, is_km_anonymous};
+use crate::anonymity::{is_k_anonymous, IncrementalChecker};
 use crate::model::{Cluster, ClusterNode, JointCluster, RecordChunk, SharedChunk};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -322,26 +322,46 @@ fn try_join<R: Rng + ?Sized>(
         return JoinOutcome::NotJoined(a, b);
     }
 
-    // Greedy construction of shared chunks (VERPART over the refining terms).
+    // Greedy construction of shared chunks (VERPART over the refining
+    // terms).  Every trial used to re-project the *original* records of all
+    // simple clusters against the trial domain and re-count every
+    // combination from scratch; instead, project each record once onto the
+    // candidate refining terms its cluster is eligible for, and run the
+    // incremental dense checker over those base projections — a trial
+    // becomes one `can_add` (only combinations involving the new term are
+    // counted), except when Property 1 demands plain k-anonymity, which is
+    // checked on materialized trial projections exactly as before.
+    let proj_base = project_shared_base(&simple_of_both, &candidates);
+    let mut checker = IncrementalChecker::new(&proj_base, k, m);
     let mut shared: Vec<SharedChunk> = Vec::new();
     let mut placed: BTreeSet<TermId> = BTreeSet::new();
     let mut remaining = candidates;
     while !remaining.is_empty() {
+        checker.reset();
         let mut current: Vec<TermId> = Vec::new();
+        let mut current_needs_k = false;
         let mut rejected: Vec<TermId> = Vec::new();
         for &t in &remaining {
-            let mut trial = current.clone();
-            trial.push(t);
-            trial.sort_unstable();
-            let subrecords = project_shared(&simple_of_both, &trial);
-            let needs_k = trial.iter().any(|x| t_r.contains(x));
+            let needs_k = current_needs_k || t_r.contains(&t);
             let ok = if needs_k {
-                is_k_anonymous(&subrecords, k)
+                // Property 1: the whole trial chunk must be k-anonymous.
+                let mut trial_projections = checker.projections();
+                for (base, proj) in proj_base.iter().zip(trial_projections.iter_mut()) {
+                    if base.contains(t) {
+                        proj.insert(t);
+                    }
+                }
+                is_k_anonymous(&trial_projections, k)
             } else {
-                is_km_anonymous(&subrecords, k, m)
+                // k-anonymity of every accepted prefix implies
+                // k^m-anonymity, so the checker's incremental argument
+                // holds even across mixed-mode trials.
+                checker.can_add(t)
             };
             if ok {
-                current = trial;
+                checker.add(t);
+                current.push(t);
+                current_needs_k = needs_k;
             } else {
                 rejected.push(t);
             }
@@ -349,19 +369,22 @@ fn try_join<R: Rng + ?Sized>(
         if current.is_empty() {
             break;
         }
-        let mut subrecords = project_shared(&simple_of_both, &current);
-        subrecords.retain(|r| !r.is_empty());
+        current.sort_unstable();
+        let mut subrecords: Vec<Record> = checker
+            .projections()
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .collect();
         if options.shuffle {
             subrecords.shuffle(rng);
         }
-        let requires_k_anonymity = current.iter().any(|x| t_r.contains(x));
         placed.extend(current.iter().copied());
         shared.push(SharedChunk {
             chunk: RecordChunk {
                 domain: current,
                 subrecords,
             },
-            requires_k_anonymity,
+            requires_k_anonymity: current_needs_k,
         });
         remaining = rejected;
     }
@@ -397,13 +420,20 @@ fn try_join<R: Rng + ?Sized>(
     JoinOutcome::Joined(joint)
 }
 
-/// Projects the original records of the simple clusters onto `domain`,
-/// restricted per cluster to the terms its term chunk currently holds (a
-/// record never contributes the same projection to two chunks — Section 3).
-fn project_shared(simple: &[&WorkCluster], domain: &[TermId]) -> Vec<Record> {
+/// Projects the original records of the simple clusters onto the candidate
+/// refining terms, restricted per cluster to the terms its term chunk
+/// currently holds (a record never contributes the same projection to two
+/// chunks — Section 3).
+///
+/// This is computed **once per join attempt**; every trial domain is a
+/// subset of `candidates`, so trial projections are derived from these base
+/// projections by the incremental checker instead of re-projecting the full
+/// records.  Records whose base projection is empty are dropped — no trial
+/// can ever make them non-empty.
+fn project_shared_base(simple: &[&WorkCluster], candidates: &[TermId]) -> Vec<Record> {
     let mut out = Vec::new();
     for w in simple {
-        let eligible: Vec<TermId> = domain
+        let mut eligible: Vec<TermId> = candidates
             .iter()
             .copied()
             .filter(|t| w.cluster.term_chunk.contains(*t))
@@ -411,6 +441,7 @@ fn project_shared(simple: &[&WorkCluster], domain: &[TermId]) -> Vec<Record> {
         if eligible.is_empty() {
             continue;
         }
+        eligible.sort_unstable();
         for r in &w.records {
             let proj = r.project_sorted(&eligible);
             if !proj.is_empty() {
@@ -424,6 +455,7 @@ fn project_shared(simple: &[&WorkCluster], domain: &[TermId]) -> Vec<Record> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anonymity::is_km_anonymous;
     use crate::verpart::{vertical_partition, VerPartOptions};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -14,6 +14,10 @@
 //!   record and every combination of at most `m` of its terms, the published
 //!   chunks admit at least `k` candidate reconstructed records containing
 //!   that combination (Lemma 1's counting argument).
+//!
+//! The chunk checks run on the dense bitset engine of [`crate::anonymity`]
+//! (packed combination counting), so re-verifying a large publication costs
+//! a fraction of producing it.
 
 use crate::anonymity::{is_k_anonymous, is_km_anonymous};
 use crate::model::{Cluster, ClusterNode, DisassociatedDataset, SharedChunk};

@@ -82,8 +82,11 @@ pub fn vertical_partition<R: Rng + ?Sized>(
         }
     }
 
-    // Greedy chunk construction.
-    let mut chunk_domains: Vec<Vec<TermId>> = Vec::new();
+    // Greedy chunk construction.  The incremental checker already maintains
+    // the projection of every record onto the accepted domain, so each
+    // finished chunk is materialized straight from the checker instead of
+    // re-projecting every record against the chunk domain.
+    let mut chunks: Vec<(Vec<TermId>, Vec<Record>)> = Vec::new();
     let mut checker = IncrementalChecker::new(records, k, m);
     while !remaining.is_empty() {
         checker.reset();
@@ -103,27 +106,20 @@ pub fn vertical_partition<R: Rng + ?Sized>(
             term_chunk_terms.extend(rejected);
             break;
         }
-        chunk_domains.push(accepted);
+        accepted.sort_unstable();
+        chunks.push((accepted, checker.projections()));
         remaining = rejected;
     }
 
     // Materialize the record chunks.
     let mut record_chunks: Vec<RecordChunk> = Vec::new();
-    for domain in chunk_domains {
-        let mut sorted = domain.clone();
-        sorted.sort_unstable();
-        let mut subrecords: Vec<Record> = records
-            .iter()
-            .map(|r| r.project_sorted(&sorted))
-            .filter(|r| !r.is_empty())
-            .collect();
+    for (domain, projections) in chunks {
+        let mut subrecords: Vec<Record> =
+            projections.into_iter().filter(|r| !r.is_empty()).collect();
         if options.shuffle {
             subrecords.shuffle(rng);
         }
-        record_chunks.push(RecordChunk {
-            domain: sorted,
-            subrecords,
-        });
+        record_chunks.push(RecordChunk { domain, subrecords });
     }
 
     let mut cluster = Cluster {

@@ -43,6 +43,11 @@ impl Dataset {
         &self.records
     }
 
+    /// Consumes the dataset, yielding the owned records (no cloning).
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+
     /// Mutable access to the records.
     pub fn records_mut(&mut self) -> &mut Vec<Record> {
         &mut self.records

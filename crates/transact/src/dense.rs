@@ -1,0 +1,490 @@
+//! Dense-domain combinatorics: cluster-local term interning, fixed-width
+//! bitset subrecords and packed combination keys.
+//!
+//! The k^m-anonymity hot path (VERPART's greedy chunk construction) operates
+//! on one *cluster* at a time, whose domain is tiny compared to the global
+//! term universe (tens to hundreds of terms for the paper's default
+//! `max_cluster_size = 10·k`).  This module exploits that locality:
+//!
+//! * [`DenseDomain`] interns the cluster's [`TermId`]s into consecutive
+//!   *dense ids* `0..d` (`u16`), assigned in ascending `TermId` order — so
+//!   dense-id order and term-id order agree and a sorted dense sequence
+//!   decodes to a sorted term sequence;
+//! * [`BitRecord`] represents a (sub)record as a fixed-width `u64`-word
+//!   bitset over the dense ids: projection becomes a word-wise `AND`,
+//!   membership a shift, support counting a popcount;
+//! * [`PackedCombo`] packs up to [`PACK_ARITY`] dense ids into a single
+//!   `u64` hash-map key (16 bits per id, biased by 1 so `0` means "empty
+//!   lane"), replacing the heap-allocated `Vec<TermId>` itemset keys of the
+//!   reference implementation;
+//! * [`FxBuildHasher`] is a multiply-xor hasher for those `u64` keys (the
+//!   default SipHash is overkill for counting combinations).
+//!
+//! **Invariants.**  A dense id is only meaningful relative to the
+//! [`DenseDomain`] that produced it.  Packing requires every id to be
+//! `< DenseDomain::MAX_LEN` (guaranteed by construction) and at most
+//! [`PACK_ARITY`] ids per combination; combinations larger than that fall
+//! back to the [`crate::Itemset`] path.  [`PackedCombo`] keys compare equal
+//! iff the ids were appended in the same order — callers enumerate ids in
+//! ascending order (or with a fixed distinguished id in a fixed lane), which
+//! makes the key canonical per counting pass.
+
+use crate::record::Record;
+use crate::term::TermId;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Maximum number of dense ids a [`PackedCombo`] can hold (one 16-bit lane
+/// each).  Combinations above this arity use the `Itemset` fallback.
+pub const PACK_ARITY: usize = 4;
+
+// ---------------------------------------------------------------------------
+// DenseDomain
+// ---------------------------------------------------------------------------
+
+/// A cluster-local interning of [`TermId`]s into consecutive `u16` dense ids.
+///
+/// Dense ids are assigned in ascending term-id order: `dense_of` and
+/// `term_of` are monotone bijections between the cluster's terms and
+/// `0..len()`.
+#[derive(Debug, Clone, Default)]
+pub struct DenseDomain {
+    /// Sorted, deduplicated terms; the dense id of `terms[i]` is `i`.
+    terms: Vec<TermId>,
+}
+
+impl DenseDomain {
+    /// The maximum number of terms a dense domain can intern: dense ids must
+    /// fit a `u16` *after* the +1 bias used by [`PackedCombo`] lanes.
+    pub const MAX_LEN: usize = u16::MAX as usize;
+
+    /// Interns the union of all terms of `records`.
+    ///
+    /// Returns `None` when the union exceeds [`DenseDomain::MAX_LEN`]
+    /// distinct terms (callers fall back to the sparse `Itemset` path).
+    pub fn from_records<'a, I>(records: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Record>,
+    {
+        let mut terms: Vec<TermId> = Vec::new();
+        for r in records {
+            terms.extend_from_slice(r.terms());
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        if terms.len() > Self::MAX_LEN {
+            return None;
+        }
+        Some(DenseDomain { terms })
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The interned terms, ascending; index = dense id.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// The dense id of `t`, or `None` when `t` is outside the domain.
+    #[inline]
+    pub fn dense_of(&self, t: TermId) -> Option<u16> {
+        self.terms.binary_search(&t).ok().map(|i| i as u16)
+    }
+
+    /// The term behind dense id `d` (panics when out of range).
+    #[inline]
+    pub fn term_of(&self, d: u16) -> TermId {
+        self.terms[d as usize]
+    }
+
+    /// Number of `u64` words a [`BitRecord`] over this domain occupies.
+    pub fn words(&self) -> usize {
+        self.terms.len().div_ceil(64)
+    }
+
+    /// Encodes `record` as a bitset over this domain.
+    ///
+    /// Terms of the record outside the domain are ignored (useful when the
+    /// domain was built from a projection of the records).
+    pub fn bit_record(&self, record: &Record) -> BitRecord {
+        let mut bits = BitRecord::zeroed(self.words());
+        for t in record.iter() {
+            if let Some(d) = self.dense_of(t) {
+                bits.set(d);
+            }
+        }
+        bits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BitRecord
+// ---------------------------------------------------------------------------
+
+/// A fixed-width bitset over the dense ids of one [`DenseDomain`].
+///
+/// All bit records produced for the same domain have the same width, so the
+/// binary operations are plain word-wise loops with no length checks beyond
+/// a debug assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRecord {
+    words: Box<[u64]>,
+}
+
+impl BitRecord {
+    /// An all-zero bitset of `words` `u64` words.
+    pub fn zeroed(words: usize) -> Self {
+        BitRecord {
+            words: vec![0u64; words].into_boxed_slice(),
+        }
+    }
+
+    /// Sets bit `d`.
+    #[inline]
+    pub fn set(&mut self, d: u16) {
+        self.words[(d / 64) as usize] |= 1u64 << (d % 64);
+    }
+
+    /// Clears bit `d`.
+    #[inline]
+    pub fn clear(&mut self, d: u16) {
+        self.words[(d / 64) as usize] &= !(1u64 << (d % 64));
+    }
+
+    /// Whether bit `d` is set.
+    #[inline]
+    pub fn contains(&self, d: u16) -> bool {
+        (self.words[(d / 64) as usize] >> (d % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Zeroes every bit (the width is kept).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Popcount of `self ∩ other`.
+    #[inline]
+    pub fn and_count(&self, other: &BitRecord) -> u32 {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Invokes `f` with every dense id set in `self ∩ other`, ascending.
+    #[inline]
+    pub fn for_each_and<F: FnMut(u16)>(&self, other: &BitRecord, mut f: F) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (wi, (&a, &b)) in self.words.iter().zip(other.words.iter()).enumerate() {
+            let mut w = a & b;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                f((wi as u32 * 64 + bit) as u16);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Appends every dense id set in `self ∩ other` to `out`, ascending.
+    #[inline]
+    pub fn collect_and_into(&self, other: &BitRecord, out: &mut Vec<u16>) {
+        self.for_each_and(other, |d| out.push(d));
+    }
+
+    /// Invokes `f` with every set dense id, ascending.
+    pub fn for_each<F: FnMut(u16)>(&self, mut f: F) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                f((wi as u32 * 64 + bit) as u16);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PackedCombo
+// ---------------------------------------------------------------------------
+
+/// Up to [`PACK_ARITY`] dense ids packed into one `u64` (16 bits per lane,
+/// ids biased by 1 so `0` marks an empty lane).
+///
+/// Built incrementally with [`PackedCombo::extended`]; the empty combo is
+/// [`PackedCombo::EMPTY`].  Two combos are equal iff the same ids were
+/// appended in the same lane order — enumerate ids in a canonical order
+/// (ascending, or a fixed distinguished id in a fixed lane) to use combos as
+/// counting keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PackedCombo(pub u64);
+
+impl PackedCombo {
+    /// The empty combination.
+    pub const EMPTY: PackedCombo = PackedCombo(0);
+
+    /// Returns the combo with dense id `d` appended in lane `lane`
+    /// (`lane < PACK_ARITY`, lanes filled left to right starting at 0).
+    #[inline]
+    pub fn extended(self, lane: usize, d: u16) -> PackedCombo {
+        debug_assert!(lane < PACK_ARITY);
+        debug_assert_eq!((self.0 >> (16 * lane)), 0, "lane already occupied");
+        PackedCombo(self.0 | ((d as u64 + 1) << (16 * lane)))
+    }
+
+    /// Packs a slice of at most [`PACK_ARITY`] dense ids (lane `i` = `ids[i]`).
+    pub fn pack(ids: &[u16]) -> PackedCombo {
+        debug_assert!(ids.len() <= PACK_ARITY);
+        let mut c = PackedCombo::EMPTY;
+        for (lane, &d) in ids.iter().enumerate() {
+            c = c.extended(lane, d);
+        }
+        c
+    }
+
+    /// The packed dense ids, in lane order.
+    pub fn ids(self) -> impl Iterator<Item = u16> {
+        (0..PACK_ARITY).filter_map(move |lane| {
+            let v = (self.0 >> (16 * lane)) & 0xFFFF;
+            (v != 0).then(|| (v - 1) as u16)
+        })
+    }
+
+    /// Number of occupied lanes.
+    pub fn len(self) -> usize {
+        self.ids().count()
+    }
+
+    /// Whether no lane is occupied.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Enumerates every subset of `ids` (ascending dense ids) with size in
+/// `1..=max_size.min(PACK_ARITY)`, invoking `f` with the packed key.
+///
+/// Subsets are packed in ascending-id lane order, so the keys are canonical
+/// across records: the bitset-based `is_km_anonymous` counts with this.
+pub fn for_each_packed_subset<F: FnMut(PackedCombo)>(ids: &[u16], max_size: usize, mut f: F) {
+    let max_size = max_size.min(PACK_ARITY);
+    if max_size == 0 || ids.is_empty() {
+        return;
+    }
+    fn recurse<F: FnMut(PackedCombo)>(
+        ids: &[u16],
+        start: usize,
+        depth: usize,
+        max_size: usize,
+        prefix: PackedCombo,
+        f: &mut F,
+    ) {
+        for i in start..ids.len() {
+            let combo = prefix.extended(depth, ids[i]);
+            f(combo);
+            if depth + 1 < max_size {
+                recurse(ids, i + 1, depth + 1, max_size, combo, f);
+            }
+        }
+    }
+    recurse(ids, 0, 0, max_size, PackedCombo::EMPTY, &mut f);
+}
+
+// ---------------------------------------------------------------------------
+// FxHasher
+// ---------------------------------------------------------------------------
+
+/// A fast multiply-xor hasher for small integer keys ([`PackedCombo`]s).
+///
+/// Modeled after rustc's FxHash: good-enough scatter for counting maps, a
+/// fraction of SipHash's cost.  Not DoS-resistant — only use for keys the
+/// process derives itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+/// `BuildHasher` for [`FxHasher`] (plug into `HashMap::with_hasher`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by packed combos, using [`FxHasher`].
+pub type ComboCountMap = std::collections::HashMap<PackedCombo, u32, FxBuildHasher>;
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so sequential keys don't land in sequential
+        // buckets.
+        let h = self.0;
+        h.rotate_left(26) ^ h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn rec(ids: &[u32]) -> Record {
+        Record::from_ids(ids.iter().map(|&i| TermId::new(i)))
+    }
+
+    #[test]
+    fn dense_domain_interns_in_term_order() {
+        let records = [rec(&[9, 3]), rec(&[7, 3, 100])];
+        let dom = DenseDomain::from_records(records.iter()).unwrap();
+        assert_eq!(dom.len(), 4);
+        assert_eq!(dom.dense_of(TermId::new(3)), Some(0));
+        assert_eq!(dom.dense_of(TermId::new(7)), Some(1));
+        assert_eq!(dom.dense_of(TermId::new(9)), Some(2));
+        assert_eq!(dom.dense_of(TermId::new(100)), Some(3));
+        assert_eq!(dom.dense_of(TermId::new(8)), None);
+        assert_eq!(dom.term_of(2), TermId::new(9));
+        assert_eq!(dom.words(), 1);
+    }
+
+    #[test]
+    fn dense_domain_of_empty_input() {
+        let dom = DenseDomain::from_records(std::iter::empty()).unwrap();
+        assert!(dom.is_empty());
+        assert_eq!(dom.words(), 0);
+        let bits = dom.bit_record(&rec(&[]));
+        assert!(bits.is_empty());
+    }
+
+    #[test]
+    fn bit_record_roundtrips_membership() {
+        let records = [rec(&[1, 2, 3, 64, 65, 129])];
+        let dom = DenseDomain::from_records(records.iter()).unwrap();
+        let bits = dom.bit_record(&records[0]);
+        assert_eq!(bits.count_ones(), 6);
+        for t in records[0].iter() {
+            assert!(bits.contains(dom.dense_of(t).unwrap()));
+        }
+        let mut decoded = Vec::new();
+        bits.for_each(|d| decoded.push(dom.term_of(d)));
+        assert_eq!(decoded, records[0].terms());
+    }
+
+    #[test]
+    fn bit_record_set_clear_and_width() {
+        // 100 terms → 2 words.
+        let records = [rec(&(0..100).collect::<Vec<_>>())];
+        let dom = DenseDomain::from_records(records.iter()).unwrap();
+        assert_eq!(dom.words(), 2);
+        let mut bits = BitRecord::zeroed(dom.words());
+        bits.set(99);
+        assert!(bits.contains(99) && !bits.contains(98));
+        bits.clear(99);
+        assert!(bits.is_empty());
+        bits.set(5);
+        bits.clear_all();
+        assert!(bits.is_empty());
+    }
+
+    #[test]
+    fn intersection_iteration_is_sorted_and_exact() {
+        let records = [rec(&(0..130).collect::<Vec<_>>())];
+        let dom = DenseDomain::from_records(records.iter()).unwrap();
+        let a = dom.bit_record(&rec(&[1, 63, 64, 65, 127, 128]));
+        let b = dom.bit_record(&rec(&[63, 65, 128, 129]));
+        assert_eq!(a.and_count(&b), 3);
+        let mut got = Vec::new();
+        a.collect_and_into(&b, &mut got);
+        assert_eq!(got, vec![63, 65, 128]);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn packed_combo_roundtrip_and_lanes() {
+        let c = PackedCombo::pack(&[0, 7, 65_534]);
+        assert_eq!(c.ids().collect::<Vec<_>>(), vec![0, 7, 65_534]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(PackedCombo::EMPTY.is_empty());
+        // Lane order matters: same set, different order, different key.
+        assert_ne!(PackedCombo::pack(&[1, 2]), PackedCombo::pack(&[2, 1]));
+        // Distinct sets never collide.
+        assert_ne!(PackedCombo::pack(&[0]), PackedCombo::pack(&[0, 0]));
+        assert_ne!(PackedCombo::pack(&[0, 1]), PackedCombo::pack(&[0, 2]));
+    }
+
+    #[test]
+    fn packed_subset_enumeration_matches_itemset_enumeration() {
+        use crate::itemset::for_each_subset_up_to;
+        let ids: Vec<u16> = vec![0, 1, 2, 3, 4];
+        let terms: Vec<TermId> = ids.iter().map(|&d| TermId::new(d as u32)).collect();
+        for m in 1..=4 {
+            let mut packed = HashSet::new();
+            for_each_packed_subset(&ids, m, |c| {
+                assert!(packed.insert(c), "duplicate subset for m={m}");
+            });
+            let mut reference = 0usize;
+            for_each_subset_up_to(&terms, m, |_| reference += 1);
+            assert_eq!(packed.len(), reference, "m={m}");
+        }
+    }
+
+    #[test]
+    fn packed_subset_enumeration_caps_at_pack_arity() {
+        let ids: Vec<u16> = (0..6).collect();
+        let mut max_len = 0;
+        for_each_packed_subset(&ids, 10, |c| max_len = max_len.max(c.len()));
+        assert_eq!(max_len, PACK_ARITY);
+        let mut count = 0;
+        for_each_packed_subset(&ids, 0, |_| count += 1);
+        for_each_packed_subset(&[], 3, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn fx_hasher_scatters_sequential_keys() {
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let hashes: HashSet<u64> = (0u64..1000)
+            .map(|k| build.hash_one(PackedCombo(k)))
+            .collect();
+        assert_eq!(hashes.len(), 1000, "sequential keys must not collide");
+    }
+}

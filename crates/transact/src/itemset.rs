@@ -155,11 +155,15 @@ pub fn for_each_subset_containing<F: FnMut(&[TermId])>(
 }
 
 /// Counts the number of subsets of size `1..=max_size` of a set with `n`
-/// elements (the cost of one exhaustive anonymity check).
+/// elements (the cost of one exhaustive anonymity check), saturating at
+/// `u64::MAX`.
+///
+/// Also used as a capacity hint by `combination_counts` — the subset count
+/// upper-bounds the number of distinct combinations a chunk can contain.
 pub fn subset_count(n: usize, max_size: usize) -> u64 {
     let mut total = 0u64;
     for k in 1..=max_size.min(n) {
-        total += binomial(n as u64, k as u64);
+        total = total.saturating_add(binomial(n as u64, k as u64));
     }
     total
 }
@@ -169,11 +173,17 @@ fn binomial(n: u64, k: u64) -> u64 {
         return 0;
     }
     let k = k.min(n - k);
-    let mut result = 1u64;
+    // u128 intermediates: the running product is C(n, i+1), which can pass
+    // u64::MAX mid-loop for large n; saturate instead of overflowing (the
+    // sequence is increasing for i < k ≤ n/2, so MAX is a sound answer).
+    let mut result = 1u128;
     for i in 0..k {
-        result = result * (n - i) / (i + 1);
+        result = result * (n - i) as u128 / (i + 1) as u128;
+        if result > u64::MAX as u128 {
+            return u64::MAX;
+        }
     }
-    result
+    result as u64
 }
 
 #[cfg(test)]

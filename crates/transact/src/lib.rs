@@ -14,6 +14,8 @@
 //!   statistics,
 //! * [`Itemset`] — small term combinations used by the anonymity checks and
 //!   by frequent-itemset mining,
+//! * [`dense`] — cluster-local dense interning, bitset subrecords and packed
+//!   combination keys (the substrate of the fast k^m-anonymity engine),
 //! * [`SupportMap`] / [`PairSupports`] — support counting infrastructure,
 //! * [`stats`] — the dataset statistics reported in Figure 6 of the paper,
 //! * [`io`] — reading and writing the conventional space-separated
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod dense;
 pub mod dictionary;
 pub mod io;
 pub mod itemset;
@@ -43,6 +46,7 @@ pub mod support;
 pub mod term;
 
 pub use dataset::Dataset;
+pub use dense::{BitRecord, DenseDomain, PackedCombo};
 pub use dictionary::Dictionary;
 pub use itemset::Itemset;
 pub use record::Record;
