@@ -72,11 +72,7 @@ fn bench_refine(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(2);
             let cluster =
                 vertical_partition(&records, 5, 2, &VerPartOptions::publication(), &mut rng);
-            WorkCluster {
-                record_indices: indices.clone(),
-                records,
-                cluster,
-            }
+            WorkCluster::new(indices.clone(), records, cluster)
         })
         .collect();
     c.bench_function("refine/5k-records", |b| {

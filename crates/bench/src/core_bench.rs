@@ -1,13 +1,19 @@
 //! Core anonymity-engine workload (`BENCH_core`): the perf trajectory of the
 //! k^m-anonymity hot path.
 //!
-//! Two series over a Quest workload at the paper's default k = 5, m = 2:
+//! Three series over a Quest workload at the paper's default k = 5, m = 2:
 //!
 //! * `verpart_ubench` — the VERPART greedy domain construction (the
 //!   `can_add` inner loop, isolated from shuffling and materialization) run
 //!   once per cluster with the legacy `Itemset`-based [`ReferenceChecker`]
 //!   and once with the dense [`IncrementalChecker`] — the engines must take
 //!   identical decisions, so the speedup column is apples-to-apples;
+//! * `refine_ubench` — Algorithm REFINE over the vertically partitioned
+//!   forest, run once with the pre-index [`refine_reference`] (per-pass
+//!   subtree walks, record re-scans, materialized Property 1 trials) and
+//!   once with the indexed [`refine`] (cached node metadata, per-cluster
+//!   support indexes, pooled checker scratch) — the published forests must
+//!   be identical, so the speedup column is apples-to-apples;
 //! * `end_to_end` — the full pipeline (HorPart, VerPart, Refine) on the
 //!   same records, phase by phase.
 //!
@@ -17,7 +23,11 @@ use crate::experiment::{ExperimentReport, Series};
 use crate::workloads::quest_scaled;
 use disassociation::anonymity::{IncrementalChecker, ReferenceChecker};
 use disassociation::horpart::{self, horizontal_partition};
-use disassociation::{DisassociationConfig, Disassociator};
+use disassociation::refine::{refine, refine_reference, RefineOptions, WorkCluster, WorkNode};
+use disassociation::verpart::{vertical_partition_with_supports, VerPartOptions};
+use disassociation::{ClusterNode, DisassociationConfig, Disassociator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeSet;
 use std::time::Instant;
 use transact::{Record, SupportMap, TermId};
@@ -34,7 +44,7 @@ pub fn bench_core(scale: usize) -> ExperimentReport {
     let workload = quest_scaled(records, 5_000, 10.0, 77);
     let mut report = ExperimentReport::new(
         "BENCH_core",
-        "k^m-anonymity engine: VERPART microbench (legacy vs dense) + end-to-end",
+        "k^m-anonymity engine: VERPART (legacy vs dense) + REFINE (reference vs indexed) + end-to-end",
         &format!("quest {records} records, k={K}, m={M}"),
         scale,
     );
@@ -101,6 +111,87 @@ pub fn bench_core(scale: usize) -> ExperimentReport {
     ubench.push("clusters", clusters.len() as f64);
     ubench.push("accepted_terms", dense_accepted as f64);
     report.add_series(ubench);
+
+    // REFINE microbench: the same vertically partitioned forest through the
+    // pre-index reference and the indexed implementation.  Cloning the work
+    // clusters happens outside the timed sections; equal-seeded RNGs keep
+    // the shuffle streams aligned so the forests must come out identical.
+    let work: Vec<WorkCluster> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, records)| {
+            // Seeded per cluster exactly like `Disassociator::partition_one`.
+            let mut rng =
+                StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let supports = SupportMap::from_records(records.iter());
+            let cluster = vertical_partition_with_supports(
+                records,
+                &supports,
+                K,
+                M,
+                &VerPartOptions::publication(),
+                &mut rng,
+            );
+            WorkCluster::with_supports(
+                partition.clusters[i].clone(),
+                records.clone(),
+                cluster,
+                &supports,
+            )
+        })
+        .collect();
+    let refine_options = RefineOptions::default();
+    let nodes_reference: Vec<WorkNode> = work.iter().cloned().map(WorkNode::Simple).collect();
+    let nodes_indexed: Vec<WorkNode> = work.iter().cloned().map(WorkNode::Simple).collect();
+    let nodes_in = work.len();
+    drop(work);
+
+    let started = Instant::now();
+    let reference = refine_reference(
+        nodes_reference,
+        K,
+        M,
+        &refine_options,
+        &mut StdRng::seed_from_u64(0x2EF1_5EEDu64),
+    );
+    let reference_secs = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let indexed = refine(
+        nodes_indexed,
+        K,
+        M,
+        &refine_options,
+        &mut StdRng::seed_from_u64(0x2EF1_5EEDu64),
+    );
+    let indexed_secs = started.elapsed().as_secs_f64();
+
+    assert_eq!(indexed.passes_used, reference.passes_used);
+    assert_eq!(indexed.converged, reference.converged);
+    let nodes_out = indexed.nodes.len();
+    let indexed_pub: Vec<ClusterNode> = indexed
+        .nodes
+        .into_iter()
+        .map(WorkNode::into_cluster_node)
+        .collect();
+    let reference_pub: Vec<ClusterNode> = reference
+        .nodes
+        .into_iter()
+        .map(WorkNode::into_cluster_node)
+        .collect();
+    assert_eq!(
+        indexed_pub, reference_pub,
+        "the refine implementations must publish identical forests"
+    );
+
+    let mut refine_series = Series::new("refine_ubench");
+    refine_series.push("reference_s", reference_secs);
+    refine_series.push("indexed_s", indexed_secs);
+    refine_series.push("speedup", reference_secs / indexed_secs.max(1e-9));
+    refine_series.push("nodes_in", nodes_in as f64);
+    refine_series.push("nodes_out", nodes_out as f64);
+    refine_series.push("passes", indexed.passes_used as f64);
+    report.add_series(refine_series);
 
     // End-to-end pipeline with the dense engine.
     let started = Instant::now();
@@ -192,14 +283,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_scale_produces_both_series_and_matching_engines() {
+    fn tiny_scale_produces_all_series_and_matching_engines() {
         let report = bench_core(500);
         assert_eq!(report.id, "BENCH_core");
         let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["verpart_ubench", "end_to_end"]);
+        assert_eq!(names, vec!["verpart_ubench", "refine_ubench", "end_to_end"]);
         let ubench = &report.series[0];
         assert!(ubench.points.iter().any(|(x, _)| x == "legacy_s"));
         assert!(ubench.points.iter().any(|(x, _)| x == "dense_s"));
         assert!(ubench.points.iter().any(|(x, _)| x == "speedup"));
+        let refine = &report.series[1];
+        assert!(refine.points.iter().any(|(x, _)| x == "reference_s"));
+        assert!(refine.points.iter().any(|(x, _)| x == "indexed_s"));
+        assert!(refine.points.iter().any(|(x, _)| x == "speedup"));
+        assert!(refine.points.iter().any(|(x, _)| x == "passes"));
     }
 }

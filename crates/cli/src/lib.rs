@@ -484,6 +484,14 @@ impl Command {
                     stats.shared_chunks,
                     stats.total_seconds()
                 )?;
+                if !stats.refine_converged {
+                    writeln!(
+                        out,
+                        "warning: refining hit its pass limit after {} passes without converging; \
+                         the publication is valid but further joint clusters may have been possible",
+                        stats.refine_passes
+                    )?;
+                }
                 writeln!(out, "published chunks: {}", chunks_path.display())?;
                 Ok(())
             }

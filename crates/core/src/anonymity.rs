@@ -32,9 +32,12 @@
 //! speed, not results (pinned by the output-bytes regression tests).
 
 use std::collections::HashMap;
-use transact::dense::{for_each_packed_subset, ComboCountMap, PackedCombo, PACK_ARITY};
+use transact::dense::{
+    bits_contain, bits_for_each, bits_for_each_and, bits_set, for_each_packed_subset,
+    ComboCountMap, FxBuildHasher, PackedCombo, PACK_ARITY,
+};
 use transact::itemset::{for_each_subset_containing, for_each_subset_up_to, subset_count};
-use transact::{BitRecord, DenseDomain, Itemset, Record, TermId};
+use transact::{DenseDomain, Itemset, Record, TermId};
 
 /// Domain-size ceiling for the m = 2 pair-count triangle (above it the
 /// triangle would cost O(d²) memory; the checker switches to a sparse
@@ -174,15 +177,48 @@ enum Inner<'a> {
 impl<'a> IncrementalChecker<'a> {
     /// Creates a checker over the cluster `records` with an empty domain.
     pub fn new(records: &'a [Record], k: usize, m: usize) -> Self {
+        Self::with_scratch(records, k, m, &mut CheckerScratch::default())
+    }
+
+    /// Creates a checker reusing the buffers pooled in `scratch`.
+    ///
+    /// The dense engine's allocations (interning table, record bitsets,
+    /// counting maps, the pair triangle) are recovered from `scratch` and
+    /// rebuilt in place instead of reallocated; hand the checker back with
+    /// [`IncrementalChecker::recycle`] once done so the next construction
+    /// can reuse them.  REFINE runs one scratch across all its join
+    /// attempts; VERPART-style one-shot callers use [`IncrementalChecker::new`].
+    pub fn with_scratch(
+        records: &'a [Record],
+        k: usize,
+        m: usize,
+        scratch: &mut CheckerScratch,
+    ) -> Self {
         let inner = if m > PACK_ARITY {
             Inner::Reference(ReferenceChecker::new(records, k, m))
         } else {
-            match DenseChecker::build(records, k, m) {
-                Some(dense) => Inner::Dense(Box::new(dense)),
-                None => Inner::Reference(ReferenceChecker::new(records, k, m)),
+            let mut dense = scratch
+                .dense
+                .take()
+                .unwrap_or_else(|| Box::new(DenseChecker::empty()));
+            if dense.rebuild(records, k, m) {
+                Inner::Dense(dense)
+            } else {
+                // Domain beyond u16: give the buffers back, fall back.
+                scratch.dense = Some(dense);
+                Inner::Reference(ReferenceChecker::new(records, k, m))
             }
         };
         IncrementalChecker { k, m, inner }
+    }
+
+    /// Returns the checker's reusable buffers to `scratch` (see
+    /// [`IncrementalChecker::with_scratch`]).  Dropping the checker instead
+    /// merely loses the pooling, never correctness.
+    pub fn recycle(self, scratch: &mut CheckerScratch) {
+        if let Inner::Dense(dense) = self.inner {
+            scratch.dense = Some(dense);
+        }
     }
 
     /// The current chunk domain (sorted ascending).
@@ -201,6 +237,33 @@ impl<'a> IncrementalChecker<'a> {
         match &mut self.inner {
             Inner::Dense(d) => d.can_add(t),
             Inner::Reference(r) => r.can_add(t),
+        }
+    }
+
+    /// Whether adding `t` keeps the chunk **k-anonymous**: every distinct
+    /// non-empty projection onto `domain ∪ {t}` appears at least `k` times
+    /// (the Property 1 trial of REFINE's shared-chunk construction).
+    ///
+    /// Equivalent to materializing every trial projection and running
+    /// [`is_k_anonymous`], but the dense engine maintains the
+    /// projection-equality groups incrementally and answers from the new
+    /// term's postings — `O(support(t) + #groups)` instead of cloning and
+    /// recounting a `Vec<Record>` per trial.
+    pub fn can_add_k(&mut self, t: TermId) -> bool {
+        if self.k <= 1 {
+            return true;
+        }
+        match &mut self.inner {
+            Inner::Dense(d) => d.can_add_k(t),
+            Inner::Reference(r) => r.can_add_k(t),
+        }
+    }
+
+    /// Support of `t` among the checker's records (0 when absent from all).
+    pub fn support_of(&self, t: TermId) -> u64 {
+        match &self.inner {
+            Inner::Dense(d) => d.support_of(t) as u64,
+            Inner::Reference(r) => r.support_of(t),
         }
     }
 
@@ -235,6 +298,19 @@ impl<'a> IncrementalChecker<'a> {
     }
 }
 
+/// A pool of the dense engine's reusable allocations.
+///
+/// [`IncrementalChecker::with_scratch`] recovers the interning table, the
+/// flat record-bitset buffer, the counting maps and the pair triangle from
+/// here and rebuilds them in place for the next cluster;
+/// [`IncrementalChecker::recycle`] puts them back.  One scratch amortizes
+/// every per-cluster allocation of a long sequence of checker builds (REFINE
+/// runs one across all join attempts of a refining run).
+#[derive(Debug, Default)]
+pub struct CheckerScratch {
+    dense: Option<Box<DenseChecker>>,
+}
+
 /// The m = 2 counting strategy of the dense checker.
 #[derive(Debug)]
 enum PairCounts {
@@ -252,18 +328,27 @@ enum PairCounts {
 }
 
 /// The dense-engine state behind [`IncrementalChecker`].
-#[derive(Debug)]
+///
+/// Record bitsets are stored as **flat rows** of one shared `Vec<u64>`
+/// (record `i` occupies `bits[i·words..(i+1)·words]`): one allocation per
+/// cluster instead of one per record, reusable across rebuilds and friendly
+/// to the word-wise loops.
+#[derive(Debug, Default)]
 struct DenseChecker {
     k: usize,
     m: usize,
     /// Cluster-local interning of the record terms.
     domain: DenseDomain,
-    /// One fixed-width bitset per record.
-    bits: Vec<BitRecord>,
+    /// Row width of `bits`, in `u64` words.
+    words: usize,
+    /// Number of records (= rows of `bits`).
+    n_records: usize,
+    /// Flat record bitsets (see type docs).
+    bits: Vec<u64>,
     /// Cluster support per dense id.
     supports: Vec<u32>,
-    /// Bitset of the current chunk domain.
-    current: BitRecord,
+    /// Bitset of the current chunk domain (width `words`).
+    current: Vec<u64>,
     /// Current domain as sorted `TermId`s (may include terms absent from
     /// every record — mirrors the reference checker's bookkeeping).
     current_terms: Vec<TermId>,
@@ -276,57 +361,143 @@ struct DenseChecker {
     counts: ComboCountMap,
     /// Reusable buffer for a record's projected dense ids.
     scratch_ids: Vec<u16>,
+    /// CSR postings: `postings[postings_start[d]..postings_start[d+1]]` are
+    /// the (ascending) row indices containing dense id `d`.
+    postings_start: Vec<u32>,
+    postings: Vec<u32>,
+    /// Fill cursor reused by the postings build.
+    postings_cursor: Vec<u32>,
+    /// Projection-equality groups: rows with equal projections onto the
+    /// current domain share a group id; group 0 holds the empty projections.
+    /// Maintained incrementally by `add` (rows containing the new term split
+    /// off their group), this is what makes the k-anonymity trial
+    /// (`can_add_k`) O(support(t) + #groups) instead of a full row scan.
+    group_of: Vec<u32>,
+    group_count: Vec<u32>,
+    /// Dense ids accepted into the domain but not yet folded into the
+    /// groups.  Group refinement is order-independent, so the splits are
+    /// deferred until a `can_add_k` actually needs them — callers that never
+    /// run Property 1 trials (VERPART) pay nothing.
+    group_pending: Vec<u16>,
+    /// Per-split scratch: old group id → the id its `t`-rows split into.
+    group_remap: HashMap<u32, u32, FxBuildHasher>,
+    /// Per-trial scratch: old group id → number of its rows containing `t`.
+    trial_ct: HashMap<u32, u32, FxBuildHasher>,
 }
 
 impl DenseChecker {
-    /// Builds the dense state, or `None` when the cluster domain does not
-    /// fit `u16` dense ids.
-    fn build(records: &[Record], k: usize, m: usize) -> Option<DenseChecker> {
-        let domain = DenseDomain::from_records(records.iter())?;
-        let words = domain.words();
-        let mut supports = vec![0u32; domain.len()];
-        let mut bits = Vec::with_capacity(records.len());
-        for r in records {
-            let b = domain.bit_record(r);
-            b.for_each(|d| supports[d as usize] += 1);
-            bits.push(b);
+    /// An empty checker holding no records (a rebuild target).
+    fn empty() -> DenseChecker {
+        DenseChecker::default()
+    }
+
+    /// Rebuilds the checker over `records` in place, reusing every buffer.
+    /// Returns `false` (contents unspecified, safe to retry) when the
+    /// cluster domain does not fit `u16` dense ids.
+    fn rebuild(&mut self, records: &[Record], k: usize, m: usize) -> bool {
+        if !self.domain.rebuild(records.iter()) {
+            return false;
         }
-        let pairs = if m == 2 && k > 1 {
-            Some(if domain.len() <= TRIANGLE_MAX_DOMAIN {
-                let mut tri = vec![0u32; domain.len() * domain.len().saturating_sub(1) / 2];
-                let mut ids: Vec<u16> = Vec::new();
-                for b in &bits {
+        self.k = k;
+        self.m = m;
+        let words = self.domain.words();
+        self.words = words;
+        self.n_records = records.len();
+        self.bits.clear();
+        self.bits.resize(records.len() * words, 0);
+        self.supports.clear();
+        self.supports.resize(self.domain.len(), 0);
+        for (i, r) in records.iter().enumerate() {
+            let row = &mut self.bits[i * words..(i + 1) * words];
+            for t in r.iter() {
+                if let Some(d) = self.domain.dense_of(t) {
+                    bits_set(row, d);
+                    self.supports[d as usize] += 1;
+                }
+            }
+        }
+        // Postings (CSR): supports double as the per-id slot counts.
+        let d = self.domain.len();
+        self.postings_start.clear();
+        self.postings_start.resize(d + 1, 0);
+        for i in 0..d {
+            self.postings_start[i + 1] = self.postings_start[i] + self.supports[i];
+        }
+        self.postings_cursor.clear();
+        self.postings_cursor
+            .extend_from_slice(&self.postings_start[..d]);
+        self.postings.clear();
+        self.postings.resize(self.postings_start[d] as usize, 0);
+        for (i, r) in records.iter().enumerate() {
+            for t in r.iter() {
+                if let Some(d) = self.domain.dense_of(t) {
+                    let slot = &mut self.postings_cursor[d as usize];
+                    self.postings[*slot as usize] = i as u32;
+                    *slot += 1;
+                }
+            }
+        }
+        self.group_of.clear();
+        self.group_of.resize(records.len(), 0);
+        self.group_count.clear();
+        self.group_count.push(records.len() as u32);
+        self.group_pending.clear();
+        self.pairs = if m == 2 && k > 1 {
+            Some(if self.domain.len() <= TRIANGLE_MAX_DOMAIN {
+                let mut tri = match self.pairs.take() {
+                    Some(PairCounts::Triangle(mut v)) => {
+                        v.clear();
+                        v
+                    }
+                    _ => Vec::new(),
+                };
+                tri.resize(
+                    self.domain.len() * self.domain.len().saturating_sub(1) / 2,
+                    0,
+                );
+                let ids = &mut self.scratch_ids;
+                for i in 0..self.n_records {
+                    let row = &self.bits[i * words..(i + 1) * words];
                     ids.clear();
-                    b.for_each(|d| ids.push(d));
+                    bits_for_each(row, |d| ids.push(d));
                     for j in 1..ids.len() {
-                        for i in 0..j {
-                            tri[tri_index(ids[i], ids[j])] += 1;
+                        for l in 0..j {
+                            tri[tri_index(ids[l], ids[j])] += 1;
                         }
                     }
                 }
                 PairCounts::Triangle(tri)
             } else {
-                PairCounts::Sparse {
-                    scratch: vec![0u32; domain.len()],
-                    touched: Vec::new(),
-                }
+                let (mut scratch, touched) = match self.pairs.take() {
+                    Some(PairCounts::Sparse {
+                        mut scratch,
+                        mut touched,
+                    }) => {
+                        scratch.clear();
+                        touched.clear();
+                        (scratch, touched)
+                    }
+                    _ => (Vec::new(), Vec::new()),
+                };
+                scratch.resize(self.domain.len(), 0);
+                PairCounts::Sparse { scratch, touched }
             })
         } else {
             None
         };
-        Some(DenseChecker {
-            k,
-            m,
-            domain,
-            bits,
-            supports,
-            current: BitRecord::zeroed(words),
-            current_terms: Vec::new(),
-            current_dense: Vec::new(),
-            pairs,
-            counts: ComboCountMap::default(),
-            scratch_ids: Vec::new(),
-        })
+        self.current.clear();
+        self.current.resize(words, 0);
+        self.current_terms.clear();
+        self.current_dense.clear();
+        self.counts.clear();
+        true
+    }
+
+    fn support_of(&self, t: TermId) -> u32 {
+        self.domain
+            .dense_of(t)
+            .map(|d| self.supports[d as usize])
+            .unwrap_or(0)
     }
 
     fn can_add(&mut self, t: TermId) -> bool {
@@ -346,6 +517,9 @@ impl DenseChecker {
         if self.m == 1 {
             return true;
         }
+        let words = self.words;
+        let rows_with_t = &self.postings[self.postings_start[dt as usize] as usize
+            ..self.postings_start[dt as usize + 1] as usize];
         match &mut self.pairs {
             // m = 2: the only new combinations are {t} (checked above) and
             // {t, u} for current-domain terms u.  Their counts are the plain
@@ -357,11 +531,10 @@ impl DenseChecker {
             }),
             Some(PairCounts::Sparse { scratch, touched }) => {
                 touched.clear();
-                for b in &self.bits {
-                    if !b.contains(dt) {
-                        continue;
-                    }
-                    b.for_each_and(&self.current, |u| {
+                for &i in rows_with_t {
+                    let i = i as usize;
+                    let row = &self.bits[i * words..(i + 1) * words];
+                    bits_for_each_and(row, &self.current, |u| {
                         if scratch[u as usize] == 0 {
                             touched.push(u);
                         }
@@ -383,12 +556,11 @@ impl DenseChecker {
             None => {
                 let (k, m) = (self.k, self.m);
                 self.counts.clear();
-                for b in &self.bits {
-                    if !b.contains(dt) {
-                        continue;
-                    }
+                for &i in rows_with_t {
+                    let i = i as usize;
+                    let row = &self.bits[i * words..(i + 1) * words];
                     self.scratch_ids.clear();
-                    b.collect_and_into(&self.current, &mut self.scratch_ids);
+                    bits_for_each_and(row, &self.current, |d| self.scratch_ids.push(d));
                     for_each_subset_with(&self.scratch_ids, dt, m - 1, |combo| {
                         *self.counts.entry(combo).or_insert(0) += 1;
                     });
@@ -398,32 +570,115 @@ impl DenseChecker {
         }
     }
 
+    /// The Property 1 trial: whether every distinct non-empty projection onto
+    /// `current ∪ {t}` appears at least `k` times.
+    ///
+    /// Adding `t` splits each projection-equality group into its rows with
+    /// and without `t` (no two groups can merge — no current projection
+    /// contains `t`), so the trial only needs the per-group `t`-row counts
+    /// from the postings: O(support(t) + #groups), no row scan, nothing
+    /// materialized.
+    fn can_add_k(&mut self, t: TermId) -> bool {
+        let k = self.k as u32;
+        self.apply_pending_splits();
+        self.trial_ct.clear();
+        if let Some(dt) = self.domain.dense_of(t) {
+            // `t` already accepted: adding it again changes nothing and the
+            // loop below degenerates to checking the current groups.
+            if !bits_contain(&self.current, dt) {
+                let rows = &self.postings[self.postings_start[dt as usize] as usize
+                    ..self.postings_start[dt as usize + 1] as usize];
+                for &row in rows {
+                    *self
+                        .trial_ct
+                        .entry(self.group_of[row as usize])
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        // Every group must stay k-anonymous after the split: the rows that
+        // leave form a new group of size `ct`, the remainder keeps the old
+        // identity.  Group 0 (empty projections) is exempt on the remainder
+        // side — empty subrecords carry no information.
+        for (g, &count) in self.group_count.iter().enumerate() {
+            let ct = self.trial_ct.get(&(g as u32)).copied().unwrap_or(0);
+            if ct != 0 && ct < k {
+                return false;
+            }
+            if g == 0 {
+                continue;
+            }
+            let rem = count - ct;
+            if rem != 0 && rem < k {
+                return false;
+            }
+        }
+        true
+    }
+
     fn add(&mut self, t: TermId) {
         if let Err(pos) = self.current_terms.binary_search(&t) {
             self.current_terms.insert(pos, t);
         }
         if let Some(dt) = self.domain.dense_of(t) {
-            if !self.current.contains(dt) {
-                self.current.set(dt);
+            if !bits_contain(&self.current, dt) {
+                bits_set(&mut self.current, dt);
                 if let Err(pos) = self.current_dense.binary_search(&dt) {
                     self.current_dense.insert(pos, dt);
                 }
+                self.group_pending.push(dt);
             }
         }
     }
 
+    /// Folds the deferred domain additions into the projection-equality
+    /// groups: rows containing the added term leave their group for a fresh
+    /// one (one per old group).  The resulting partition is independent of
+    /// the split order.
+    fn apply_pending_splits(&mut self) {
+        for idx in 0..self.group_pending.len() {
+            let dt = self.group_pending[idx];
+            let rows = &self.postings[self.postings_start[dt as usize] as usize
+                ..self.postings_start[dt as usize + 1] as usize];
+            let (group_of, group_count, remap) = (
+                &mut self.group_of,
+                &mut self.group_count,
+                &mut self.group_remap,
+            );
+            remap.clear();
+            for &row in rows {
+                let g = group_of[row as usize];
+                let ng = *remap.entry(g).or_insert_with(|| {
+                    group_count.push(0);
+                    (group_count.len() - 1) as u32
+                });
+                group_count[g as usize] -= 1;
+                group_count[ng as usize] += 1;
+                group_of[row as usize] = ng;
+            }
+        }
+        self.group_pending.clear();
+    }
+
     fn reset(&mut self) {
-        self.current.clear_all();
+        self.current.fill(0);
         self.current_terms.clear();
         self.current_dense.clear();
+        if self.group_count.len() > 1 {
+            self.group_of.fill(0);
+        }
+        self.group_count.clear();
+        self.group_count.push(self.n_records as u32);
+        self.group_pending.clear();
     }
 
     fn projections(&self) -> Vec<Record> {
-        self.bits
-            .iter()
-            .map(|b| {
+        let words = self.words;
+        (0..self.n_records)
+            .map(|i| {
+                let row = &self.bits[i * words..(i + 1) * words];
                 let mut terms: Vec<TermId> = Vec::new();
-                b.for_each_and(&self.current, |d| terms.push(self.domain.term_of(d)));
+                bits_for_each_and(row, &self.current, |d| terms.push(self.domain.term_of(d)));
                 // Dense-id order is term-id order, so `terms` is sorted.
                 Record::from_ids(terms)
             })
@@ -542,6 +797,28 @@ impl<'a> ReferenceChecker<'a> {
             });
         }
         counts.values().all(|&c| c as usize >= self.k)
+    }
+
+    /// Whether adding `t` keeps the chunk **k-anonymous** (the Property 1
+    /// trial): materializes the trial projections and counts them — the
+    /// oracle the dense hashed-bitset path of
+    /// [`IncrementalChecker::can_add_k`] is checked against.
+    pub fn can_add_k(&self, t: TermId) -> bool {
+        if self.k <= 1 {
+            return true;
+        }
+        let mut trial = self.projections.clone();
+        for (rec, proj) in self.records.iter().zip(trial.iter_mut()) {
+            if rec.contains(t) {
+                proj.insert(t);
+            }
+        }
+        is_k_anonymous(&trial, self.k)
+    }
+
+    /// Support of `t` among the checker's records.
+    pub fn support_of(&self, t: TermId) -> u64 {
+        self.records.iter().filter(|r| r.contains(t)).count() as u64
     }
 
     /// Adds `t` to the chunk domain.
@@ -825,5 +1102,115 @@ mod tests {
         checker.add(tid(99));
         assert_eq!(checker.domain(), &[tid(99)]);
         assert!(checker.projections().iter().all(Record::is_empty));
+    }
+
+    /// What `can_add_k` replaces: materialize every trial projection and run
+    /// the chunk-level k-anonymity check.
+    fn materialized_k_trial(
+        checker: &IncrementalChecker,
+        records: &[Record],
+        t: TermId,
+        k: usize,
+    ) -> bool {
+        let mut trial = checker.projections();
+        for (rec, proj) in records.iter().zip(trial.iter_mut()) {
+            if rec.contains(t) {
+                proj.insert(t);
+            }
+        }
+        is_k_anonymous(&trial, k)
+    }
+
+    #[test]
+    fn can_add_k_matches_the_materialized_trial() {
+        let records = vec![
+            rec(&[0, 1, 2, 5, 7]),
+            rec(&[2, 1, 6, 7, 3, 4]),
+            rec(&[0, 2, 3, 5, 4]),
+            rec(&[0, 1, 6]),
+            rec(&[0, 1, 2, 3, 4]),
+            rec(&[0, 1, 2]),
+        ];
+        let candidates: Vec<TermId> = (0..8).map(tid).collect();
+        for k in 2..=4 {
+            let mut checker = IncrementalChecker::new(&records, k, 2);
+            // Greedy replay: every trial verdict must equal the materialized
+            // check, whether accepted or not.
+            for round in 0..2 {
+                checker.reset();
+                for &t in &candidates {
+                    let expected = materialized_k_trial(&checker, &records, t, k);
+                    assert_eq!(
+                        checker.can_add_k(t),
+                        expected,
+                        "k={k} round={round} trial {t} diverges from the materialized check"
+                    );
+                    if expected {
+                        checker.add(t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn can_add_k_zero_support_term_verdict_is_unchanged() {
+        // Term 99 occurs in no record: the trial projections equal the
+        // current ones, so the verdict must match `is_k_anonymous` of the
+        // current state — true on a k-anonymous prefix, false on a
+        // non-k-anonymous one (the forced `add` below builds the latter).
+        let records = vec![rec(&[1, 2]), rec(&[1]), rec(&[2]), rec(&[1, 2])];
+        let k = 2;
+        let mut checker = IncrementalChecker::new(&records, k, 2);
+        assert_eq!(checker.support_of(tid(99)), 0);
+        assert!(checker.can_add_k(tid(99)), "empty chunk is k-anonymous");
+        assert!(materialized_k_trial(&checker, &records, tid(99), k));
+        // Force a non-k-anonymous current state: projections {1,2},{1},{2},{1,2}
+        // have two singleton groups.
+        checker.add(tid(1));
+        checker.add(tid(2));
+        assert!(!materialized_k_trial(&checker, &records, tid(99), k));
+        assert!(
+            !checker.can_add_k(tid(99)),
+            "zero-support trial must still expose a non-k-anonymous prefix"
+        );
+    }
+
+    #[test]
+    fn support_of_counts_cluster_records() {
+        let records = vec![rec(&[1, 2]), rec(&[1]), rec(&[2, 3])];
+        let dense = IncrementalChecker::new(&records, 2, 2);
+        let reference = ReferenceChecker::new(&records, 2, 2);
+        for t in [1u32, 2, 3, 99] {
+            assert_eq!(dense.support_of(tid(t)), reference.support_of(tid(t)));
+        }
+        assert_eq!(dense.support_of(tid(1)), 2);
+        assert_eq!(dense.support_of(tid(99)), 0);
+    }
+
+    #[test]
+    fn scratch_recycling_preserves_answers_across_clusters() {
+        let cluster_a = vec![rec(&[1, 2, 3]), rec(&[1, 2]), rec(&[1, 2, 3]), rec(&[3])];
+        let cluster_b = vec![rec(&[7, 8]), rec(&[7, 9]), rec(&[7, 8, 9]), rec(&[8, 9])];
+        let mut scratch = CheckerScratch::default();
+        for (k, m) in [(2, 2), (3, 2), (2, 3)] {
+            for records in [&cluster_a, &cluster_b] {
+                let mut pooled = IncrementalChecker::with_scratch(records, k, m, &mut scratch);
+                let mut fresh = IncrementalChecker::new(records, k, m);
+                let candidates: Vec<TermId> = (1..10).map(tid).collect();
+                for &t in &candidates {
+                    assert_eq!(pooled.can_add(t), fresh.can_add(t), "k={k} m={m} t={t}");
+                    assert_eq!(pooled.can_add_k(t), fresh.can_add_k(t), "k={k} m={m} t={t}");
+                    assert_eq!(pooled.support_of(t), fresh.support_of(t));
+                    if pooled.can_add(t) {
+                        pooled.add(t);
+                        fresh.add(t);
+                    }
+                }
+                assert_eq!(pooled.domain(), fresh.domain());
+                assert_eq!(pooled.projections(), fresh.projections());
+                pooled.recycle(&mut scratch);
+            }
+        }
     }
 }

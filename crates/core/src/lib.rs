@@ -76,7 +76,7 @@ use rand::SeedableRng;
 use refine::{refine, RefineOptions, WorkCluster, WorkNode};
 use std::collections::BTreeSet;
 use transact::{Dataset, TermId};
-use verpart::{vertical_partition, VerPartOptions};
+use verpart::VerPartOptions;
 
 /// Configuration of a disassociation run.
 #[derive(Debug, Clone)]
@@ -91,6 +91,11 @@ pub struct DisassociationConfig {
     pub max_cluster_size: usize,
     /// Whether the refining step (joint clusters / shared chunks) runs.
     pub enable_refine: bool,
+    /// Cap on the refining step's passes over the cluster list; `0` selects
+    /// the [`refine::RefineOptions`] default.  Whether a run hit this cap
+    /// before converging is reported in
+    /// [`DisassociationOutput::refine_converged`].
+    pub refine_max_passes: usize,
     /// Seed for the randomized parts of the transformation (subrecord
     /// shuffling); the anonymization is deterministic given the seed.
     pub seed: u64,
@@ -109,6 +114,7 @@ impl Default for DisassociationConfig {
             m: 2,
             max_cluster_size: 0,
             enable_refine: true,
+            refine_max_passes: 0,
             seed: 0xD15A550C,
             sensitive_terms: BTreeSet::new(),
             parallel: true,
@@ -157,6 +163,13 @@ pub struct DisassociationOutput {
     /// Wall-clock duration of the three phases, in seconds
     /// (horizontal, vertical, refine).
     pub phase_seconds: [f64; 3],
+    /// Number of refining passes executed (0 when refining was disabled or
+    /// the forest had fewer than two clusters).
+    pub refine_passes: usize,
+    /// Whether the refining step reached a fixpoint before exhausting its
+    /// pass limit.  `false` flags a run whose forest might still admit
+    /// further joins — valid output, merely possibly under-refined.
+    pub refine_converged: bool,
 }
 
 impl DisassociationOutput {
@@ -261,13 +274,21 @@ impl Disassociator {
 
         // Phase 3: refining.
         let mut nodes: Vec<WorkNode> = clusters.into_iter().map(WorkNode::Simple).collect();
+        let mut refine_passes = 0usize;
+        let mut refine_converged = true;
         if cfg.enable_refine {
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_2EF1);
-            let refine_options = RefineOptions {
+            let mut refine_options = RefineOptions {
                 excluded_terms: cfg.sensitive_terms.clone(),
                 ..RefineOptions::default()
             };
-            nodes = refine(nodes, cfg.k, cfg.m, &refine_options, &mut rng);
+            if cfg.refine_max_passes > 0 {
+                refine_options.max_passes = cfg.refine_max_passes;
+            }
+            let outcome = refine(nodes, cfg.k, cfg.m, &refine_options, &mut rng);
+            nodes = outcome.nodes;
+            refine_passes = outcome.passes_used;
+            refine_converged = outcome.converged;
         }
         let t3 = std::time::Instant::now();
 
@@ -291,6 +312,8 @@ impl Disassociator {
                 (t2 - t1).as_secs_f64(),
                 (t3 - t2).as_secs_f64(),
             ],
+            refine_passes,
+            refine_converged,
         }
     }
 
@@ -358,12 +381,16 @@ impl Disassociator {
         let mut rng = StdRng::seed_from_u64(
             self.config.seed ^ (cluster_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
         );
-        let cluster = vertical_partition(&records, self.config.k, self.config.m, options, &mut rng);
-        WorkCluster {
-            record_indices: indices.to_vec(),
-            records,
-            cluster,
-        }
+        let supports = transact::SupportMap::from_records(records.iter());
+        let cluster = verpart::vertical_partition_with_supports(
+            &records,
+            &supports,
+            self.config.k,
+            self.config.m,
+            options,
+            &mut rng,
+        );
+        WorkCluster::with_supports(indices.to_vec(), records, cluster, &supports)
     }
 }
 
@@ -493,6 +520,68 @@ mod tests {
         let a = Disassociator::new(cfg.clone()).anonymize(&d);
         let b = Disassociator::new(cfg).anonymize(&d);
         assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn refine_pass_cap_non_convergence_is_observable() {
+        // Three 4-record groups (distinct dominant base terms, so HorPart
+        // splits them apart) sharing rare term 9: refining joins a pair in
+        // pass 1, so a 1-pass cap stops with two nodes left — joins were
+        // still happening and more might have been possible.
+        let d = Dataset::from_records(vec![
+            rec(&[1, 9]),
+            rec(&[1]),
+            rec(&[1]),
+            rec(&[1]),
+            rec(&[2, 9]),
+            rec(&[2]),
+            rec(&[2]),
+            rec(&[2]),
+            rec(&[3, 9]),
+            rec(&[3]),
+            rec(&[3]),
+            rec(&[3]),
+        ]);
+        let base = DisassociationConfig {
+            k: 2,
+            m: 2,
+            max_cluster_size: 4,
+            ..Default::default()
+        };
+        let capped = Disassociator::new(DisassociationConfig {
+            refine_max_passes: 1,
+            ..base.clone()
+        })
+        .anonymize(&d);
+        assert_eq!(capped.refine_passes, 1);
+        assert!(
+            !capped.refine_converged,
+            "a capped run that still joined must not look converged"
+        );
+        assert!(
+            verify::verify_structure(&capped.dataset).is_ok(),
+            "a non-converged run is still a valid publication"
+        );
+        let full = Disassociator::new(base).anonymize(&d);
+        assert!(full.refine_converged);
+        assert!(
+            full.refine_passes >= 2,
+            "convergence takes a no-change pass after the joining pass"
+        );
+    }
+
+    #[test]
+    fn disabled_refine_reports_trivial_convergence() {
+        let d = figure2_dataset();
+        let output = Disassociator::new(DisassociationConfig {
+            k: 3,
+            m: 2,
+            enable_refine: false,
+            ..Default::default()
+        })
+        .anonymize(&d);
+        assert_eq!(output.refine_passes, 0);
+        assert!(output.refine_converged);
     }
 
     #[test]

@@ -320,6 +320,8 @@ pub struct CollectSink {
     clusters: Vec<ClusterNode>,
     cluster_assignment: Vec<Vec<usize>>,
     phase_seconds: [f64; 3],
+    refine_passes: usize,
+    refine_converged: bool,
 }
 
 impl CollectSink {
@@ -331,6 +333,8 @@ impl CollectSink {
             clusters: Vec::new(),
             cluster_assignment: Vec::new(),
             phase_seconds: [0.0; 3],
+            refine_passes: 0,
+            refine_converged: true,
         }
     }
 
@@ -339,7 +343,9 @@ impl CollectSink {
         CollectSink::new(config.k, config.m)
     }
 
-    /// The combined output collected so far.
+    /// The combined output collected so far.  Refine telemetry aggregates
+    /// across batches: the pass count is the worst (highest) batch, and the
+    /// run converged only if every batch did.
     pub fn into_output(self) -> DisassociationOutput {
         DisassociationOutput {
             dataset: DisassociatedDataset {
@@ -349,6 +355,8 @@ impl CollectSink {
             },
             cluster_assignment: self.cluster_assignment,
             phase_seconds: self.phase_seconds,
+            refine_passes: self.refine_passes,
+            refine_converged: self.refine_converged,
         }
     }
 }
@@ -367,6 +375,8 @@ impl ChunkSink for CollectSink {
         for (total, phase) in self.phase_seconds.iter_mut().zip(output.phase_seconds) {
             *total += phase;
         }
+        self.refine_passes = self.refine_passes.max(output.refine_passes);
+        self.refine_converged &= output.refine_converged;
         Ok(())
     }
 }
@@ -393,7 +403,7 @@ impl<F: FnMut(BatchOutput)> ChunkSink for FnSink<F> {
 }
 
 /// Running totals of what a [`JsonChunksSink`] has written.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkFileStats {
     /// Original records covered by the written clusters.
     pub records: usize,
@@ -405,6 +415,25 @@ pub struct ChunkFileStats {
     pub shared_chunks: usize,
     /// Summed phase seconds (horizontal, vertical, refine) across batches.
     pub phase_seconds: [f64; 3],
+    /// Highest refining pass count any batch used.
+    pub refine_passes: usize,
+    /// Whether every batch's refining step converged before its pass limit.
+    pub refine_converged: bool,
+}
+
+impl Default for ChunkFileStats {
+    fn default() -> Self {
+        ChunkFileStats {
+            records: 0,
+            simple_clusters: 0,
+            record_chunks: 0,
+            shared_chunks: 0,
+            phase_seconds: [0.0; 3],
+            refine_passes: 0,
+            // An empty run trivially converged.
+            refine_converged: true,
+        }
+    }
 }
 
 impl ChunkFileStats {
@@ -540,6 +569,8 @@ impl<W: Write> ChunkSink for JsonChunksSink<'_, W> {
         {
             *total += phase;
         }
+        self.stats.refine_passes = self.stats.refine_passes.max(output.refine_passes);
+        self.stats.refine_converged &= output.refine_converged;
         for node in &output.dataset.clusters {
             self.write_cluster(node)?;
         }
@@ -1309,6 +1340,39 @@ mod tests {
         assert_eq!(stats.records, 40);
         assert!(stats.simple_clusters > 0);
         assert!(stats.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn refine_telemetry_aggregates_across_batches() {
+        let d = workload(60);
+        let mut collect = CollectSink::for_config(&config());
+        let mut file = JsonChunksSink::numeric(Vec::new(), &config());
+        {
+            let mut tee = MultiSink::new();
+            tee.push(&mut collect);
+            tee.push(&mut file);
+            let mut source = DatasetSource::new(&d, 20);
+            Pipeline::new(config())
+                .source(&mut source)
+                .sink(&mut tee)
+                .run()
+                .unwrap();
+        }
+        let stats = *file.stats();
+        let out = collect.into_output();
+        assert!(
+            out.refine_passes >= 1,
+            "refining ran on multi-cluster batches"
+        );
+        assert!(
+            out.refine_converged,
+            "this workload converges well below the cap"
+        );
+        assert_eq!(stats.refine_passes, out.refine_passes);
+        assert_eq!(stats.refine_converged, out.refine_converged);
+        // An empty run reports trivial convergence.
+        assert!(ChunkFileStats::default().refine_converged);
+        assert_eq!(ChunkFileStats::default().refine_passes, 0);
     }
 
     #[test]

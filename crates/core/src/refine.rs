@@ -15,13 +15,41 @@
 //!   k-anonymity for a shared chunk whose domain intersects `T^r` (the terms
 //!   already published in record or shared chunks below the joint), which
 //!   closes the inference channel illustrated in Figure 5a.
+//!
+//! ## The indexed join loop
+//!
+//! The naive formulation re-derives everything per pass: each node's virtual
+//! term chunk is recomputed by walking all simple clusters below it (twice
+//! per pass for the ordering, again per join attempt), and every join
+//! attempt re-scans the raw records of both subtrees to count refining-term
+//! supports.  As joint clusters grow, those walks dominate end-to-end
+//! anonymization time.  [`refine`] therefore runs on **cached, incrementally
+//! maintained node metadata**:
+//!
+//! * every [`WorkCluster`] carries its per-term supports (compact, sorted by
+//!   term id), built once — joint supports become lookups instead of record
+//!   scans;
+//! * every working node caches its `size`, virtual term chunk and `T^r` set,
+//!   merged in `O(|child sets|)` when two nodes join (and only recomputed
+//!   from the tree in the rare case a Lemma 2 repair fires);
+//! * one pooled [`CheckerScratch`] is reused across all join attempts, and
+//!   the Property 1 k-anonymity trial runs on the checker's incrementally
+//!   maintained projection-equality groups instead of cloning the full
+//!   projection set per candidate term.
+//!
+//! The pre-refactor formulation survives as [`refine_reference`]: the
+//! property-tested oracle ([`refine`] must produce byte-identical forests)
+//! and the baseline of the `refine_ubench` benchmark series.  Both use the
+//! **exact** Equation 1 predicate [`equation1_holds`] — the original `f64`
+//! division could flip a join decision near the boundary on large joint
+//! clusters.
 
-use crate::anonymity::{is_k_anonymous, IncrementalChecker};
+use crate::anonymity::{is_k_anonymous, CheckerScratch, IncrementalChecker};
 use crate::model::{Cluster, ClusterNode, JointCluster, RecordChunk, SharedChunk};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use transact::{Record, TermId};
+use transact::{Record, SupportMap, TermId};
 
 /// A simple cluster in the working (pre-publication) representation: the
 /// published [`Cluster`] plus the original records it was built from, which
@@ -35,6 +63,59 @@ pub struct WorkCluster {
     pub records: Vec<Record>,
     /// The vertical-partitioning result.
     pub cluster: Cluster,
+    /// Per-term supports over `records` (sorted by term id), built once at
+    /// construction — the index behind REFINE's joint-support lookups.
+    /// Compact on purpose: a dense [`SupportMap`] is sized by the *global*
+    /// term universe, which per retained cluster would dwarf the records.
+    supports: Vec<(TermId, u32)>,
+}
+
+impl WorkCluster {
+    /// Creates a work cluster, indexing the per-term supports of `records`.
+    pub fn new(record_indices: Vec<usize>, records: Vec<Record>, cluster: Cluster) -> Self {
+        let supports = SupportMap::from_records(records.iter());
+        Self::with_supports(record_indices, records, cluster, &supports)
+    }
+
+    /// [`WorkCluster::new`] with a precomputed support map (the pipeline
+    /// reuses the one `vertical_partition_with_supports` already counted).
+    ///
+    /// `supports` must equal `SupportMap::from_records(records.iter())`.
+    pub fn with_supports(
+        record_indices: Vec<usize>,
+        records: Vec<Record>,
+        cluster: Cluster,
+        supports: &SupportMap,
+    ) -> Self {
+        debug_assert!({
+            let fresh = SupportMap::from_records(records.iter());
+            // Both directions: every record term has the right count AND the
+            // given map has no extra nonzero terms (e.g. one counted over a
+            // superset of `records`).
+            records
+                .iter()
+                .flat_map(|r| r.iter())
+                .all(|t| fresh.support(t) == supports.support(t))
+                && supports.iter_nonzero().all(|(t, s)| fresh.support(t) == s)
+        });
+        WorkCluster {
+            record_indices,
+            records,
+            cluster,
+            supports: supports
+                .iter_nonzero()
+                .map(|(t, s)| (t, s as u32))
+                .collect(),
+        }
+    }
+
+    /// The cached support of `t` among this cluster's records.
+    pub fn support_of(&self, t: TermId) -> u64 {
+        match self.supports.binary_search_by_key(&t, |&(term, _)| term) {
+            Ok(pos) => self.supports[pos].1 as u64,
+            Err(_) => 0,
+        }
+    }
 }
 
 /// A node of the working forest.
@@ -155,31 +236,111 @@ impl Default for RefineOptions {
     }
 }
 
+/// The result of a refining run: the refined forest plus convergence
+/// telemetry, so a run that exhausted [`RefineOptions::max_passes`] while
+/// joins were still happening is observable instead of indistinguishable
+/// from a converged run.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The refined forest.
+    pub nodes: Vec<WorkNode>,
+    /// Number of full passes executed (including the final no-change pass of
+    /// a converged run; 0 when the input held fewer than two nodes).
+    pub passes_used: usize,
+    /// Whether the run reached a fixpoint — a pass with no joins, or a
+    /// forest reduced below two nodes — before hitting the pass limit.
+    /// `false` means the forest might still admit further joins — the
+    /// published data is valid either way, merely possibly under-refined.
+    pub converged: bool,
+}
+
+/// The exact Equation 1 predicate: whether
+/// `lhs_num / joint_size ≥ rhs_num / rhs_den` as rationals.
+///
+/// Compared by `u128` cross-multiplication — `f64` division can round the
+/// two quotients onto the wrong side of each other once the counts are
+/// large, silently flipping a join decision near the boundary.
+pub fn equation1_holds(lhs_num: u64, joint_size: u64, rhs_num: u64, rhs_den: u64) -> bool {
+    (lhs_num as u128) * (rhs_den as u128) >= (rhs_num as u128) * (joint_size as u128)
+}
+
+// ---------------------------------------------------------------------------
+// The indexed fast path
+// ---------------------------------------------------------------------------
+
+/// A working-forest node plus its cached metadata, maintained incrementally
+/// across joins so passes never walk subtrees to re-derive it.
+struct NodeState {
+    node: WorkNode,
+    /// Cached [`WorkNode::size`].
+    size: usize,
+    /// Cached [`WorkNode::virtual_term_chunk`].
+    vtc: BTreeSet<TermId>,
+    /// Cached [`WorkNode::record_and_shared_terms`].
+    rst: BTreeSet<TermId>,
+}
+
+impl NodeState {
+    fn new(node: WorkNode) -> Self {
+        let size = node.size();
+        let vtc = node.virtual_term_chunk();
+        let rst = node.record_and_shared_terms();
+        NodeState {
+            node,
+            size,
+            vtc,
+            rst,
+        }
+    }
+}
+
+/// Buffers reused across every join attempt of one refining run.
+#[derive(Default)]
+struct JoinScratch {
+    /// Pooled allocations of the incremental anonymity checker.
+    checker: CheckerScratch,
+    /// Base projections of the current join attempt.
+    proj_base: Vec<Record>,
+}
+
 /// Runs the refining step over a forest of clusters, producing a (possibly
 /// smaller) forest where some clusters have been merged into joint clusters
 /// with shared chunks.
+///
+/// This is the indexed implementation (cached node metadata, per-cluster
+/// support maps, pooled checker scratch — see the module docs); it produces
+/// forests identical to [`refine_reference`], only faster.
 pub fn refine<R: Rng + ?Sized>(
-    mut nodes: Vec<WorkNode>,
+    nodes: Vec<WorkNode>,
     k: usize,
     m: usize,
     options: &RefineOptions,
     rng: &mut R,
-) -> Vec<WorkNode> {
+) -> RefineOutcome {
     if nodes.len() < 2 {
-        return nodes;
+        return RefineOutcome {
+            nodes,
+            passes_used: 0,
+            converged: true,
+        };
     }
+    let mut states: Vec<NodeState> = nodes.into_iter().map(NodeState::new).collect();
+    let mut scratch = JoinScratch::default();
+    let mut passes_used = 0usize;
+    let mut converged = false;
     for _pass in 0..options.max_passes.max(1) {
-        order_by_term_chunks(&mut nodes);
+        passes_used += 1;
+        order_by_cached_term_chunks(&mut states);
         let mut changed = false;
-        let mut merged: Vec<WorkNode> = Vec::with_capacity(nodes.len());
-        let mut iter = nodes.into_iter().peekable();
+        let mut merged: Vec<NodeState> = Vec::with_capacity(states.len());
+        let mut iter = states.into_iter().peekable();
         while let Some(current) = iter.next() {
-            if let Some(_next_ref) = iter.peek() {
+            if iter.peek().is_some() {
                 let next = iter.next().expect("peeked");
-                match try_join(current, next, k, m, options, rng) {
-                    JoinOutcome::Joined(node) => {
+                match try_join(current, next, k, m, options, rng, &mut scratch) {
+                    JoinOutcome::Joined(state) => {
                         changed = true;
-                        merged.push(node);
+                        merged.push(state);
                     }
                     JoinOutcome::NotJoined(a, b) => {
                         // Pairs are strictly adjacent within a pass; `b` will
@@ -193,65 +354,78 @@ pub fn refine<R: Rng + ?Sized>(
                 merged.push(current);
             }
         }
-        nodes = merged;
-        if !changed {
+        states = merged;
+        // A single-node (or empty) forest is a fixpoint too: no further join
+        // is possible, so a run capped right after its final merge must not
+        // read as non-converged.
+        if !changed || states.len() < 2 {
+            converged = true;
             break;
         }
     }
-    nodes
+    RefineOutcome {
+        nodes: states.into_iter().map(|s| s.node).collect(),
+        passes_used,
+        converged,
+    }
 }
 
 /// Orders clusters by the contents of their (virtual) term chunks, as
 /// described in Algorithm REFINE: terms are ranked by descending
 /// *term-chunk support* `tcs` (number of clusters whose term chunk contains
 /// the term) and each cluster is keyed by the ranks of its term-chunk terms.
-fn order_by_term_chunks(nodes: &mut [WorkNode]) {
+fn order_by_cached_term_chunks(states: &mut [NodeState]) {
     // tcs per term.
     let mut tcs: BTreeMap<TermId, usize> = BTreeMap::new();
-    for node in nodes.iter() {
-        for t in node.virtual_term_chunk() {
+    for state in states.iter() {
+        for &t in &state.vtc {
             *tcs.entry(t).or_insert(0) += 1;
         }
     }
-    // Rank: 0 = highest tcs; ties by term id for determinism.
-    let mut ranked: Vec<(TermId, usize)> = tcs.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let rank: BTreeMap<TermId, usize> = ranked
-        .into_iter()
-        .enumerate()
-        .map(|(i, (t, _))| (t, i))
-        .collect();
-    let key = |node: &WorkNode| -> Vec<usize> {
-        let mut ranks: Vec<usize> = node
-            .virtual_term_chunk()
-            .into_iter()
-            .map(|t| rank.get(&t).copied().unwrap_or(usize::MAX))
+    let rank = rank_by_tcs(tcs);
+    states.sort_by_cached_key(|state| {
+        let mut ranks: Vec<usize> = state
+            .vtc
+            .iter()
+            .map(|t| rank.get(t).copied().unwrap_or(usize::MAX))
             .collect();
         ranks.sort_unstable();
         ranks
-    };
-    nodes.sort_by_cached_key(key);
+    });
+}
+
+/// Rank per term: 0 = highest tcs; ties by term id for determinism.
+fn rank_by_tcs(tcs: BTreeMap<TermId, usize>) -> BTreeMap<TermId, usize> {
+    let mut ranked: Vec<(TermId, usize)> = tcs.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, _))| (t, i))
+        .collect()
 }
 
 enum JoinOutcome {
-    Joined(WorkNode),
-    NotJoined(WorkNode, WorkNode),
+    Joined(NodeState),
+    NotJoined(NodeState, NodeState),
 }
 
 /// Attempts to join two adjacent nodes.  The join succeeds when they share
 /// refining terms, Equation 1 holds and at least one shared chunk can be
 /// built; otherwise the nodes are returned unchanged.
+#[allow(clippy::too_many_arguments)]
 fn try_join<R: Rng + ?Sized>(
-    a: WorkNode,
-    b: WorkNode,
+    a: NodeState,
+    b: NodeState,
     k: usize,
     m: usize,
     options: &RefineOptions,
     rng: &mut R,
+    scratch: &mut JoinScratch,
 ) -> JoinOutcome {
     let common: BTreeSet<TermId> = a
-        .virtual_term_chunk()
-        .intersection(&b.virtual_term_chunk())
+        .vtc
+        .intersection(&b.vtc)
         .copied()
         .filter(|t| !options.excluded_terms.contains(t))
         .collect();
@@ -260,51 +434,40 @@ fn try_join<R: Rng + ?Sized>(
     }
 
     // Joint support of every refining term: its support in the original
-    // records of the simple clusters whose *term chunk* currently holds it.
-    let joint_size = a.size() + b.size();
+    // records of the simple clusters whose *term chunk* currently holds it —
+    // read off the per-cluster support maps instead of re-scanning records.
+    let joint_size = a.size + b.size;
     let simple_of_both: Vec<&WorkCluster> = a
+        .node
         .simple_clusters()
         .into_iter()
-        .chain(b.simple_clusters())
+        .chain(b.node.simple_clusters())
         .collect();
-    let mut joint_support: BTreeMap<TermId, u64> = BTreeMap::new();
-    for &t in &common {
-        let mut s = 0u64;
-        for w in &simple_of_both {
-            if w.cluster.term_chunk.contains(t) {
-                s += w.records.iter().filter(|r| r.contains(t)).count() as u64;
-            }
-        }
-        joint_support.insert(t, s);
-    }
-
-    // Equation 1.
-    let lhs_num: u64 = joint_support.values().sum();
-    let lhs = lhs_num as f64 / joint_size as f64;
+    let mut joint_support: BTreeMap<TermId, u64> = common.iter().map(|&t| (t, 0u64)).collect();
     let mut rhs_num = 0u64;
     let mut rhs_den = 0u64;
     for w in &simple_of_both {
-        let u = common
-            .iter()
-            .filter(|t| w.cluster.term_chunk.contains(**t))
-            .count() as u64;
-        if u > 0 {
-            rhs_num += u;
+        let mut held = 0u64;
+        for (&t, support) in joint_support.iter_mut() {
+            if w.cluster.term_chunk.contains(t) {
+                *support += w.support_of(t);
+                held += 1;
+            }
+        }
+        if held > 0 {
+            rhs_num += held;
             rhs_den += w.records.len() as u64;
         }
     }
+
+    // Equation 1, in exact arithmetic.
     if rhs_den == 0 {
         return JoinOutcome::NotJoined(a, b);
     }
-    let rhs = rhs_num as f64 / rhs_den as f64;
-    if lhs < rhs {
+    let lhs_num: u64 = joint_support.values().sum();
+    if !equation1_holds(lhs_num, joint_size as u64, rhs_num, rhs_den) {
         return JoinOutcome::NotJoined(a, b);
     }
-
-    // Property 1: shared chunks whose domain intersects T^r must be
-    // k-anonymous.
-    let mut t_r = a.record_and_shared_terms();
-    t_r.extend(b.record_and_shared_terms());
 
     // Candidate refining terms in descending joint support (ties by id);
     // terms below k can never form an anonymous shared chunk.
@@ -323,16 +486,20 @@ fn try_join<R: Rng + ?Sized>(
     }
 
     // Greedy construction of shared chunks (VERPART over the refining
-    // terms).  Every trial used to re-project the *original* records of all
-    // simple clusters against the trial domain and re-count every
-    // combination from scratch; instead, project each record once onto the
-    // candidate refining terms its cluster is eligible for, and run the
-    // incremental dense checker over those base projections — a trial
-    // becomes one `can_add` (only combinations involving the new term are
-    // counted), except when Property 1 demands plain k-anonymity, which is
-    // checked on materialized trial projections exactly as before.
-    let proj_base = project_shared_base(&simple_of_both, &candidates);
-    let mut checker = IncrementalChecker::new(&proj_base, k, m);
+    // terms).  Each record is projected once onto the candidate refining
+    // terms its cluster is eligible for, and the incremental dense checker
+    // runs over those base projections — a trial is one `can_add` (only
+    // combinations involving the new term are counted).  Property 1 trials
+    // (`T^r` hit, checked against both cached sets) run on the checker's
+    // incrementally maintained projection-equality groups (`can_add_k`)
+    // instead of cloning the projection set, and a term with no base support
+    // at all skips the trial outright once the chunk is already in
+    // k-anonymous mode (its projections cannot change).  The checker's
+    // allocations are pooled across join attempts.
+    scratch.proj_base.clear();
+    project_shared_base_into(&simple_of_both, &candidates, &mut scratch.proj_base);
+    let mut checker =
+        IncrementalChecker::with_scratch(&scratch.proj_base, k, m, &mut scratch.checker);
     let mut shared: Vec<SharedChunk> = Vec::new();
     let mut placed: BTreeSet<TermId> = BTreeSet::new();
     let mut remaining = candidates;
@@ -342,16 +509,19 @@ fn try_join<R: Rng + ?Sized>(
         let mut current_needs_k = false;
         let mut rejected: Vec<TermId> = Vec::new();
         for &t in &remaining {
-            let needs_k = current_needs_k || t_r.contains(&t);
+            let needs_k = current_needs_k || a.rst.contains(&t) || b.rst.contains(&t);
             let ok = if needs_k {
-                // Property 1: the whole trial chunk must be k-anonymous.
-                let mut trial_projections = checker.projections();
-                for (base, proj) in proj_base.iter().zip(trial_projections.iter_mut()) {
-                    if base.contains(t) {
-                        proj.insert(t);
-                    }
+                if current_needs_k && checker.support_of(t) == 0 {
+                    // No base projection holds `t`: the trial projections are
+                    // the current ones, already k-anonymous by construction.
+                    // (Refine's own candidates always have joint support ≥ k,
+                    // so this guards callers with unfiltered candidate lists;
+                    // `can_add_k` would answer the same, in O(#groups).)
+                    true
+                } else {
+                    // Property 1: the whole trial chunk must be k-anonymous.
+                    checker.can_add_k(t)
                 }
-                is_k_anonymous(&trial_projections, k)
             } else {
                 // k-anonymity of every accepted prefix implies
                 // k^m-anonymity, so the checker's incremental argument
@@ -388,6 +558,8 @@ fn try_join<R: Rng + ?Sized>(
         });
         remaining = rejected;
     }
+    checker.recycle(&mut scratch.checker);
+    drop(simple_of_both);
     if shared.is_empty() {
         return JoinOutcome::NotJoined(a, b);
     }
@@ -397,10 +569,23 @@ fn try_join<R: Rng + ?Sized>(
     // side condition (the cluster must then hold enough subrecords); apply
     // the same repair VERPART uses — demote the least frequent record-chunk
     // term back into the term chunk.
+    let NodeState {
+        node: a_node,
+        vtc: a_vtc,
+        rst: a_rst,
+        ..
+    } = a;
+    let NodeState {
+        node: b_node,
+        vtc: b_vtc,
+        rst: b_rst,
+        ..
+    } = b;
     let mut joint = WorkNode::Joint {
-        children: vec![a, b],
+        children: vec![a_node, b_node],
         shared,
     };
+    let mut repaired = false;
     if let WorkNode::Joint { children, .. } = &mut joint {
         let mut simple: Vec<&mut WorkCluster> = Vec::new();
         for c in children.iter_mut() {
@@ -412,12 +597,39 @@ fn try_join<R: Rng + ?Sized>(
                 touched |= w.cluster.term_chunk.remove(t);
             }
             if touched && !crate::verpart::lemma2_holds(&w.cluster, k, m) {
-                let supports = transact::SupportMap::from_records(w.records.iter());
+                // Rare repair path: the demotion wants a dense support map,
+                // recount it (the compact cache stays valid — records never
+                // change).
+                let supports = SupportMap::from_records(w.records.iter());
                 crate::verpart::enforce_lemma2(&mut w.cluster, &supports, k, m);
+                repaired = true;
             }
         }
     }
-    JoinOutcome::Joined(joint)
+    // Merge the caches: the joint's virtual term chunk is the children's
+    // union minus the placed terms, and its `T^r` gains exactly the shared
+    // domains (= the placed terms).  A Lemma 2 repair moves a record-chunk
+    // term back into a term chunk, which these deltas cannot express —
+    // recompute from the tree in that (rare) case.
+    let (vtc, rst) = if repaired {
+        (joint.virtual_term_chunk(), joint.record_and_shared_terms())
+    } else {
+        let mut vtc = a_vtc;
+        vtc.extend(b_vtc);
+        for t in &placed {
+            vtc.remove(t);
+        }
+        let mut rst = a_rst;
+        rst.extend(b_rst);
+        rst.extend(placed.iter().copied());
+        (vtc, rst)
+    };
+    JoinOutcome::Joined(NodeState {
+        node: joint,
+        size: joint_size,
+        vtc,
+        rst,
+    })
 }
 
 /// Projects the original records of the simple clusters onto the candidate
@@ -430,8 +642,7 @@ fn try_join<R: Rng + ?Sized>(
 /// projections by the incremental checker instead of re-projecting the full
 /// records.  Records whose base projection is empty are dropped — no trial
 /// can ever make them non-empty.
-fn project_shared_base(simple: &[&WorkCluster], candidates: &[TermId]) -> Vec<Record> {
-    let mut out = Vec::new();
+fn project_shared_base_into(simple: &[&WorkCluster], candidates: &[TermId], out: &mut Vec<Record>) {
     for w in simple {
         let mut eligible: Vec<TermId> = candidates
             .iter()
@@ -449,7 +660,266 @@ fn project_shared_base(simple: &[&WorkCluster], candidates: &[TermId]) -> Vec<Re
             }
         }
     }
-    out
+}
+
+// ---------------------------------------------------------------------------
+// The reference path (pre-index oracle)
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor REFINE: re-derives every node's virtual term chunk and
+/// `T^r` by walking its subtree, re-scans raw records for joint supports,
+/// and materializes every Property 1 trial.
+///
+/// Kept as the oracle [`refine`] is property-tested against (the two must
+/// produce identical forests, pass counts and convergence verdicts on every
+/// input when driven by equal-seeded RNGs) and as the baseline of the
+/// `refine_ubench` benchmark series.  Uses the same exact
+/// [`equation1_holds`] predicate — the `f64` comparison it replaced was a
+/// correctness bug, not a performance trade-off.
+pub fn refine_reference<R: Rng + ?Sized>(
+    mut nodes: Vec<WorkNode>,
+    k: usize,
+    m: usize,
+    options: &RefineOptions,
+    rng: &mut R,
+) -> RefineOutcome {
+    if nodes.len() < 2 {
+        return RefineOutcome {
+            nodes,
+            passes_used: 0,
+            converged: true,
+        };
+    }
+    let mut passes_used = 0usize;
+    let mut converged = false;
+    for _pass in 0..options.max_passes.max(1) {
+        passes_used += 1;
+        order_nodes_by_term_chunks(&mut nodes);
+        let mut changed = false;
+        let mut merged: Vec<WorkNode> = Vec::with_capacity(nodes.len());
+        let mut iter = nodes.into_iter().peekable();
+        while let Some(current) = iter.next() {
+            if iter.peek().is_some() {
+                let next = iter.next().expect("peeked");
+                match try_join_reference(current, next, k, m, options, rng) {
+                    ReferenceJoinOutcome::Joined(node) => {
+                        changed = true;
+                        merged.push(node);
+                    }
+                    ReferenceJoinOutcome::NotJoined(a, b) => {
+                        merged.push(a);
+                        merged.push(b);
+                    }
+                }
+            } else {
+                merged.push(current);
+            }
+        }
+        nodes = merged;
+        if !changed || nodes.len() < 2 {
+            converged = true;
+            break;
+        }
+    }
+    RefineOutcome {
+        nodes,
+        passes_used,
+        converged,
+    }
+}
+
+/// The reference ordering: recomputes every virtual term chunk by walking
+/// the subtree (twice per pass — once for `tcs`, once for the sort key).
+fn order_nodes_by_term_chunks(nodes: &mut [WorkNode]) {
+    let mut tcs: BTreeMap<TermId, usize> = BTreeMap::new();
+    for node in nodes.iter() {
+        for t in node.virtual_term_chunk() {
+            *tcs.entry(t).or_insert(0) += 1;
+        }
+    }
+    let rank = rank_by_tcs(tcs);
+    let key = |node: &WorkNode| -> Vec<usize> {
+        let mut ranks: Vec<usize> = node
+            .virtual_term_chunk()
+            .into_iter()
+            .map(|t| rank.get(&t).copied().unwrap_or(usize::MAX))
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    };
+    nodes.sort_by_cached_key(key);
+}
+
+enum ReferenceJoinOutcome {
+    Joined(WorkNode),
+    NotJoined(WorkNode, WorkNode),
+}
+
+/// The reference join attempt: per-call recomputation of term chunks,
+/// supports and `T^r`; materialized Property 1 trials.
+fn try_join_reference<R: Rng + ?Sized>(
+    a: WorkNode,
+    b: WorkNode,
+    k: usize,
+    m: usize,
+    options: &RefineOptions,
+    rng: &mut R,
+) -> ReferenceJoinOutcome {
+    let common: BTreeSet<TermId> = a
+        .virtual_term_chunk()
+        .intersection(&b.virtual_term_chunk())
+        .copied()
+        .filter(|t| !options.excluded_terms.contains(t))
+        .collect();
+    if common.is_empty() {
+        return ReferenceJoinOutcome::NotJoined(a, b);
+    }
+
+    // Joint support of every refining term: its support in the original
+    // records of the simple clusters whose *term chunk* currently holds it.
+    let joint_size = a.size() + b.size();
+    let simple_of_both: Vec<&WorkCluster> = a
+        .simple_clusters()
+        .into_iter()
+        .chain(b.simple_clusters())
+        .collect();
+    let mut joint_support: BTreeMap<TermId, u64> = BTreeMap::new();
+    for &t in &common {
+        let mut s = 0u64;
+        for w in &simple_of_both {
+            if w.cluster.term_chunk.contains(t) {
+                s += w.records.iter().filter(|r| r.contains(t)).count() as u64;
+            }
+        }
+        joint_support.insert(t, s);
+    }
+
+    // Equation 1 (exact — see `equation1_holds`).
+    let lhs_num: u64 = joint_support.values().sum();
+    let mut rhs_num = 0u64;
+    let mut rhs_den = 0u64;
+    for w in &simple_of_both {
+        let u = common
+            .iter()
+            .filter(|t| w.cluster.term_chunk.contains(**t))
+            .count() as u64;
+        if u > 0 {
+            rhs_num += u;
+            rhs_den += w.records.len() as u64;
+        }
+    }
+    if rhs_den == 0 {
+        return ReferenceJoinOutcome::NotJoined(a, b);
+    }
+    if !equation1_holds(lhs_num, joint_size as u64, rhs_num, rhs_den) {
+        return ReferenceJoinOutcome::NotJoined(a, b);
+    }
+
+    // Property 1: shared chunks whose domain intersects T^r must be
+    // k-anonymous.
+    let mut t_r = a.record_and_shared_terms();
+    t_r.extend(b.record_and_shared_terms());
+
+    // Candidate refining terms in descending joint support (ties by id);
+    // terms below k can never form an anonymous shared chunk.
+    let mut candidates: Vec<TermId> = common
+        .iter()
+        .copied()
+        .filter(|t| joint_support[t] as usize >= k)
+        .collect();
+    candidates.sort_by(|x, y| {
+        joint_support[y]
+            .cmp(&joint_support[x])
+            .then_with(|| x.cmp(y))
+    });
+    if candidates.is_empty() {
+        return ReferenceJoinOutcome::NotJoined(a, b);
+    }
+
+    // Greedy construction of shared chunks, with every Property 1 trial
+    // materializing the full projection set.
+    let mut proj_base = Vec::new();
+    project_shared_base_into(&simple_of_both, &candidates, &mut proj_base);
+    let mut checker = IncrementalChecker::new(&proj_base, k, m);
+    let mut shared: Vec<SharedChunk> = Vec::new();
+    let mut placed: BTreeSet<TermId> = BTreeSet::new();
+    let mut remaining = candidates;
+    while !remaining.is_empty() {
+        checker.reset();
+        let mut current: Vec<TermId> = Vec::new();
+        let mut current_needs_k = false;
+        let mut rejected: Vec<TermId> = Vec::new();
+        for &t in &remaining {
+            let needs_k = current_needs_k || t_r.contains(&t);
+            let ok = if needs_k {
+                // Property 1: the whole trial chunk must be k-anonymous.
+                let mut trial_projections = checker.projections();
+                for (base, proj) in proj_base.iter().zip(trial_projections.iter_mut()) {
+                    if base.contains(t) {
+                        proj.insert(t);
+                    }
+                }
+                is_k_anonymous(&trial_projections, k)
+            } else {
+                checker.can_add(t)
+            };
+            if ok {
+                checker.add(t);
+                current.push(t);
+                current_needs_k = needs_k;
+            } else {
+                rejected.push(t);
+            }
+        }
+        if current.is_empty() {
+            break;
+        }
+        current.sort_unstable();
+        let mut subrecords: Vec<Record> = checker
+            .projections()
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .collect();
+        if options.shuffle {
+            subrecords.shuffle(rng);
+        }
+        placed.extend(current.iter().copied());
+        shared.push(SharedChunk {
+            chunk: RecordChunk {
+                domain: current,
+                subrecords,
+            },
+            requires_k_anonymity: current_needs_k,
+        });
+        remaining = rejected;
+    }
+    if shared.is_empty() {
+        return ReferenceJoinOutcome::NotJoined(a, b);
+    }
+
+    // Remove the placed terms from the term chunks of the simple clusters,
+    // repairing Lemma 2 with a freshly counted support map.
+    let mut joint = WorkNode::Joint {
+        children: vec![a, b],
+        shared,
+    };
+    if let WorkNode::Joint { children, .. } = &mut joint {
+        let mut simple: Vec<&mut WorkCluster> = Vec::new();
+        for c in children.iter_mut() {
+            c.collect_simple_mut(&mut simple);
+        }
+        for w in simple {
+            let mut touched = false;
+            for &t in &placed {
+                touched |= w.cluster.term_chunk.remove(t);
+            }
+            if touched && !crate::verpart::lemma2_holds(&w.cluster, k, m) {
+                let supports = SupportMap::from_records(w.records.iter());
+                crate::verpart::enforce_lemma2(&mut w.cluster, &supports, k, m);
+            }
+        }
+    }
+    ReferenceJoinOutcome::Joined(joint)
 }
 
 #[cfg(test)]
@@ -510,11 +980,11 @@ mod tests {
 
     fn work_cluster(records: Vec<Record>, start_idx: usize, k: usize, m: usize) -> WorkCluster {
         let cluster = vertical_partition(&records, k, m, &no_shuffle_vp(), &mut rng());
-        WorkCluster {
-            record_indices: (start_idx..start_idx + records.len()).collect(),
+        WorkCluster::new(
+            (start_idx..start_idx + records.len()).collect(),
             records,
             cluster,
-        }
+        )
     }
 
     #[test]
@@ -522,13 +992,15 @@ mod tests {
         let (k, m) = (3, 2);
         let p1 = work_cluster(figure2_p1_records(), 0, k, m);
         let p2 = work_cluster(figure2_p2_records(), 5, k, m);
-        let nodes = refine(
+        let outcome = refine(
             vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
             k,
             m,
             &no_shuffle_refine(),
             &mut rng(),
         );
+        assert!(outcome.converged);
+        let nodes = outcome.nodes;
         assert_eq!(nodes.len(), 1, "the two clusters must merge");
         let WorkNode::Joint { children, shared } = &nodes[0] else {
             panic!("expected a joint cluster");
@@ -558,15 +1030,20 @@ mod tests {
         let (k, m) = (2, 2);
         let a = work_cluster(vec![rec(&[1, 2]), rec(&[1, 3])], 0, k, m);
         let b = work_cluster(vec![rec(&[10, 11]), rec(&[10, 12])], 2, k, m);
-        let nodes = refine(
+        let outcome = refine(
             vec![WorkNode::Simple(a), WorkNode::Simple(b)],
             k,
             m,
             &no_shuffle_refine(),
             &mut rng(),
         );
-        assert_eq!(nodes.len(), 2);
-        assert!(nodes.iter().all(|n| matches!(n, WorkNode::Simple(_))));
+        assert_eq!(outcome.nodes.len(), 2);
+        assert!(outcome
+            .nodes
+            .iter()
+            .all(|n| matches!(n, WorkNode::Simple(_))));
+        assert!(outcome.converged);
+        assert_eq!(outcome.passes_used, 1, "first pass already finds nothing");
     }
 
     #[test]
@@ -575,7 +1052,7 @@ mod tests {
         let (k, m) = (3, 2);
         let a = work_cluster(vec![rec(&[1, 9]), rec(&[1]), rec(&[1]), rec(&[1])], 0, k, m);
         let b = work_cluster(vec![rec(&[2, 9]), rec(&[2]), rec(&[2]), rec(&[2])], 4, k, m);
-        let nodes = refine(
+        let outcome = refine(
             vec![WorkNode::Simple(a), WorkNode::Simple(b)],
             k,
             m,
@@ -583,7 +1060,7 @@ mod tests {
             &mut rng(),
         );
         // No shared chunk can be built, so no join happens.
-        assert_eq!(nodes.len(), 2);
+        assert_eq!(outcome.nodes.len(), 2);
     }
 
     #[test]
@@ -591,14 +1068,14 @@ mod tests {
         let (k, m) = (3, 2);
         let p1 = work_cluster(figure2_p1_records(), 0, k, m);
         let p2 = work_cluster(figure2_p2_records(), 5, k, m);
-        let nodes = refine(
+        let outcome = refine(
             vec![WorkNode::Simple(p1), WorkNode::Simple(p2)],
             k,
             m,
             &RefineOptions::default(),
             &mut rng(),
         );
-        for node in &nodes {
+        for node in &outcome.nodes {
             if let WorkNode::Joint { shared, .. } = node {
                 for sc in shared {
                     if sc.requires_k_anonymity {
@@ -650,7 +1127,7 @@ mod tests {
             m,
         );
         assert!(p3.cluster.term_chunk.contains(tid(5)));
-        let nodes = refine(
+        let outcome = refine(
             vec![a, WorkNode::Simple(p3)],
             k,
             m,
@@ -658,7 +1135,7 @@ mod tests {
             &mut rng(),
         );
         let mut saw_shared_over_5 = false;
-        for node in &nodes {
+        for node in &outcome.nodes {
             if let WorkNode::Joint { shared, .. } = node {
                 for sc in shared {
                     if sc.chunk.domain.contains(&tid(5)) {
@@ -696,24 +1173,165 @@ mod tests {
         // P3: 3 records, term 9 again in the term chunk.
         let p3 = work_cluster(vec![rec(&[3, 9]), rec(&[3]), rec(&[3])], 33, k, m);
         assert!(p3.cluster.term_chunk.contains(tid(9)));
-        let nodes = refine(
+        let outcome = refine(
             vec![a, WorkNode::Simple(p3)],
             k,
             m,
             &no_shuffle_refine(),
             &mut rng(),
         );
-        assert_eq!(nodes.len(), 2, "Equation 1 must reject the dilutive join");
-        assert!(nodes.iter().all(|n| match n {
+        assert_eq!(
+            outcome.nodes.len(),
+            2,
+            "Equation 1 must reject the dilutive join"
+        );
+        assert!(outcome.nodes.iter().all(|n| match n {
             WorkNode::Joint { shared, .. } => shared.is_empty(),
             WorkNode::Simple(_) => true,
         }));
     }
 
     #[test]
+    fn equation1_boundary_equal_ratios_still_join() {
+        // Exactly equal ratios: each cluster holds term 9 once over 3
+        // records, so lhs = 2/6 and rhs = 2/6.  Equation 1 holds with
+        // equality and the join must proceed — in exact arithmetic there is
+        // no rounding to nudge the comparison either way.
+        let (k, m) = (2, 2);
+        let a = work_cluster(vec![rec(&[1, 9]), rec(&[1]), rec(&[1])], 0, k, m);
+        let b = work_cluster(vec![rec(&[2, 9]), rec(&[2]), rec(&[2])], 3, k, m);
+        assert!(a.cluster.term_chunk.contains(tid(9)));
+        assert!(b.cluster.term_chunk.contains(tid(9)));
+        for refine_fn in [refine::<StdRng>, refine_reference::<StdRng>] {
+            let outcome = refine_fn(
+                vec![WorkNode::Simple(a.clone()), WorkNode::Simple(b.clone())],
+                k,
+                m,
+                &no_shuffle_refine(),
+                &mut rng(),
+            );
+            assert_eq!(outcome.nodes.len(), 1, "equal ratios satisfy Equation 1");
+            let WorkNode::Joint { shared, .. } = &outcome.nodes[0] else {
+                panic!("expected a joint cluster");
+            };
+            assert_eq!(shared[0].chunk.support(&[tid(9)]), 2);
+        }
+    }
+
+    #[test]
+    fn equation1_exact_arithmetic_beats_f64_rounding() {
+        // Equality and strict cases in ranges f64 handles fine.
+        assert!(equation1_holds(2, 6, 1, 3), "2/6 == 1/3");
+        assert!(equation1_holds(3, 6, 1, 3), "3/6 > 1/3");
+        assert!(!equation1_holds(1, 6, 1, 3), "1/6 < 1/3");
+        // Division by huge denominators stays exact.
+        assert!(equation1_holds(u64::MAX, u64::MAX, 1, 1));
+        assert!(!equation1_holds(u64::MAX - 1, u64::MAX, 1, 1));
+
+        // The rounding flip: 2^53 / (2^53 + 1) < 1 exactly, but as f64 the
+        // numerator and denominator both collapse to 2^53 and the old
+        // comparison saw two equal quotients — accepting a join Equation 1
+        // forbids.
+        let (lhs_num, joint_size, rhs_num, rhs_den) = (1u64 << 53, (1u64 << 53) + 1, 1u64, 1u64);
+        let f64_verdict = (lhs_num as f64 / joint_size as f64) >= (rhs_num as f64 / rhs_den as f64);
+        assert!(f64_verdict, "f64 rounding used to accept this join");
+        assert!(
+            !equation1_holds(lhs_num, joint_size, rhs_num, rhs_den),
+            "exact arithmetic must reject it"
+        );
+    }
+
+    #[test]
+    fn exhausting_max_passes_is_observable() {
+        // Three clusters sharing rare term 9: pass 1 joins a pair, and with
+        // `max_passes: 1` the run stops while joins may still be possible —
+        // the outcome must say so instead of looking converged.
+        let (k, m) = (3, 2);
+        let mk = |base: u32, start: usize| {
+            work_cluster(
+                vec![rec(&[base, 9]), rec(&[base, 9]), rec(&[base]), rec(&[base])],
+                start,
+                k,
+                m,
+            )
+        };
+        let nodes = || {
+            vec![
+                WorkNode::Simple(mk(1, 0)),
+                WorkNode::Simple(mk(2, 4)),
+                WorkNode::Simple(mk(3, 8)),
+            ]
+        };
+        let capped = refine(
+            nodes(),
+            k,
+            m,
+            &RefineOptions {
+                max_passes: 1,
+                ..no_shuffle_refine()
+            },
+            &mut rng(),
+        );
+        assert_eq!(capped.passes_used, 1);
+        assert!(
+            !capped.converged,
+            "a pass that joined and then hit the limit must not report convergence"
+        );
+        let full = refine(nodes(), k, m, &no_shuffle_refine(), &mut rng());
+        assert!(full.converged);
+        assert!(
+            full.passes_used >= 2,
+            "convergence takes a no-change pass after the joining pass"
+        );
+        assert!(full.passes_used <= RefineOptions::default().max_passes);
+    }
+
+    #[test]
+    fn indexed_refine_matches_reference_on_figure_data() {
+        // Same inputs, equal-seeded RNGs (shuffle on): the indexed path and
+        // the pre-refactor reference must publish identical forests and
+        // report identical telemetry.
+        let (k, m) = (3, 2);
+        let nodes = || {
+            vec![
+                WorkNode::Simple(work_cluster(figure2_p1_records(), 0, k, m)),
+                WorkNode::Simple(work_cluster(figure2_p2_records(), 5, k, m)),
+            ]
+        };
+        let fast = refine(
+            nodes(),
+            k,
+            m,
+            &RefineOptions::default(),
+            &mut StdRng::seed_from_u64(99),
+        );
+        let slow = refine_reference(
+            nodes(),
+            k,
+            m,
+            &RefineOptions::default(),
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert_eq!(fast.passes_used, slow.passes_used);
+        assert_eq!(fast.converged, slow.converged);
+        let fast_pub: Vec<ClusterNode> = fast
+            .nodes
+            .into_iter()
+            .map(WorkNode::into_cluster_node)
+            .collect();
+        let slow_pub: Vec<ClusterNode> = slow
+            .nodes
+            .into_iter()
+            .map(WorkNode::into_cluster_node)
+            .collect();
+        assert_eq!(fast_pub, slow_pub);
+    }
+
+    #[test]
     fn work_node_accessors() {
         let (k, m) = (3, 2);
         let p1 = work_cluster(figure2_p1_records(), 0, k, m);
+        assert_eq!(p1.support_of(tid(0)), 4, "itunes appears 4 times");
         let node = WorkNode::Simple(p1);
         assert_eq!(node.size(), 5);
         assert_eq!(node.simple_clusters().len(), 1);
@@ -724,16 +1342,19 @@ mod tests {
 
     #[test]
     fn refine_handles_single_and_empty_forests() {
-        let nodes = refine(vec![], 3, 2, &RefineOptions::default(), &mut rng());
-        assert!(nodes.is_empty());
+        let outcome = refine(vec![], 3, 2, &RefineOptions::default(), &mut rng());
+        assert!(outcome.nodes.is_empty());
+        assert_eq!(outcome.passes_used, 0);
+        assert!(outcome.converged);
         let one = vec![WorkNode::Simple(work_cluster(
             figure2_p1_records(),
             0,
             3,
             2,
         ))];
-        let nodes = refine(one, 3, 2, &RefineOptions::default(), &mut rng());
-        assert_eq!(nodes.len(), 1);
+        let outcome = refine(one, 3, 2, &RefineOptions::default(), &mut rng());
+        assert_eq!(outcome.nodes.len(), 1);
+        assert!(outcome.converged);
     }
 
     #[test]
@@ -750,7 +1371,7 @@ mod tests {
                 m,
             )
         };
-        let nodes = refine(
+        let outcome = refine(
             vec![
                 WorkNode::Simple(mk(1, 0)),
                 WorkNode::Simple(mk(2, 4)),
@@ -761,6 +1382,7 @@ mod tests {
             &no_shuffle_refine(),
             &mut rng(),
         );
+        let nodes = outcome.nodes;
         let total: usize = nodes.iter().map(WorkNode::size).sum();
         assert_eq!(total, 12, "no records may be lost by refining");
         assert!(

@@ -57,6 +57,24 @@ pub fn vertical_partition<R: Rng + ?Sized>(
     options: &VerPartOptions,
     rng: &mut R,
 ) -> Cluster {
+    let supports = SupportMap::from_records(records.iter());
+    vertical_partition_with_supports(records, &supports, k, m, options, rng)
+}
+
+/// [`vertical_partition`] with the cluster's per-term supports supplied by
+/// the caller, who typically needs them again afterwards (the pipeline hands
+/// the same map to [`crate::refine::WorkCluster`] so it is counted once per
+/// cluster, not twice).
+///
+/// `supports` must equal `SupportMap::from_records(records.iter())`.
+pub fn vertical_partition_with_supports<R: Rng + ?Sized>(
+    records: &[Record],
+    supports: &SupportMap,
+    k: usize,
+    m: usize,
+    options: &VerPartOptions,
+    rng: &mut R,
+) -> Cluster {
     let size = records.len();
     if size == 0 {
         return Cluster {
@@ -66,8 +84,6 @@ pub fn vertical_partition<R: Rng + ?Sized>(
         };
     }
 
-    // Per-term supports inside the cluster.
-    let supports = SupportMap::from_records(records.iter());
     let ordered = supports.terms_by_descending_support();
 
     // Split the domain into the term-chunk seed (support < k or forced) and
@@ -127,7 +143,7 @@ pub fn vertical_partition<R: Rng + ?Sized>(
         record_chunks,
         term_chunk: TermChunk::new(term_chunk_terms),
     };
-    enforce_lemma2(&mut cluster, &supports, k, m);
+    enforce_lemma2(&mut cluster, supports, k, m);
     cluster
 }
 

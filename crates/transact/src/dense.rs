@@ -65,16 +65,30 @@ impl DenseDomain {
     where
         I: IntoIterator<Item = &'a Record>,
     {
-        let mut terms: Vec<TermId> = Vec::new();
+        let mut domain = DenseDomain::default();
+        domain.rebuild(records).then_some(domain)
+    }
+
+    /// Re-interns the domain in place from `records`, reusing the existing
+    /// allocation — the pooled-scratch twin of [`DenseDomain::from_records`].
+    ///
+    /// Returns `false` (leaving the domain empty) when the term union
+    /// exceeds [`DenseDomain::MAX_LEN`].
+    pub fn rebuild<'a, I>(&mut self, records: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Record>,
+    {
+        self.terms.clear();
         for r in records {
-            terms.extend_from_slice(r.terms());
+            self.terms.extend_from_slice(r.terms());
         }
-        terms.sort_unstable();
-        terms.dedup();
-        if terms.len() > Self::MAX_LEN {
-            return None;
+        self.terms.sort_unstable();
+        self.terms.dedup();
+        if self.terms.len() > Self::MAX_LEN {
+            self.terms.clear();
+            return false;
         }
-        Some(DenseDomain { terms })
+        true
     }
 
     /// Number of interned terms.
@@ -125,6 +139,55 @@ impl DenseDomain {
 }
 
 // ---------------------------------------------------------------------------
+// Word-slice bit operations
+// ---------------------------------------------------------------------------
+//
+// The checker hot path stores many same-width bitsets in one flat `Vec<u64>`
+// (rows of `DenseDomain::words()` words) so a pooled scratch buffer can be
+// reused across clusters without one boxed allocation per record.  These
+// free functions are the word-level loops both that layout and [`BitRecord`]
+// share.
+
+/// Sets bit `d` in a word slice.
+#[inline]
+pub fn bits_set(words: &mut [u64], d: u16) {
+    words[(d / 64) as usize] |= 1u64 << (d % 64);
+}
+
+/// Whether bit `d` is set in a word slice.
+#[inline]
+pub fn bits_contain(words: &[u64], d: u16) -> bool {
+    (words[(d / 64) as usize] >> (d % 64)) & 1 == 1
+}
+
+/// Invokes `f` with every set dense id of a word slice, ascending.
+#[inline]
+pub fn bits_for_each<F: FnMut(u16)>(words: &[u64], mut f: F) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros();
+            f((wi as u32 * 64 + bit) as u16);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Invokes `f` with every dense id set in `a ∩ b`, ascending.
+#[inline]
+pub fn bits_for_each_and<F: FnMut(u16)>(a: &[u64], b: &[u64], mut f: F) {
+    debug_assert_eq!(a.len(), b.len());
+    for (wi, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        let mut w = x & y;
+        while w != 0 {
+            let bit = w.trailing_zeros();
+            f((wi as u32 * 64 + bit) as u16);
+            w &= w - 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // BitRecord
 // ---------------------------------------------------------------------------
 
@@ -146,10 +209,16 @@ impl BitRecord {
         }
     }
 
+    /// The underlying words (for the flat-row word-slice operations above).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Sets bit `d`.
     #[inline]
     pub fn set(&mut self, d: u16) {
-        self.words[(d / 64) as usize] |= 1u64 << (d % 64);
+        bits_set(&mut self.words, d);
     }
 
     /// Clears bit `d`.
@@ -161,7 +230,7 @@ impl BitRecord {
     /// Whether bit `d` is set.
     #[inline]
     pub fn contains(&self, d: u16) -> bool {
-        (self.words[(d / 64) as usize] >> (d % 64)) & 1 == 1
+        bits_contain(&self.words, d)
     }
 
     /// Number of set bits.
@@ -192,16 +261,8 @@ impl BitRecord {
 
     /// Invokes `f` with every dense id set in `self ∩ other`, ascending.
     #[inline]
-    pub fn for_each_and<F: FnMut(u16)>(&self, other: &BitRecord, mut f: F) {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        for (wi, (&a, &b)) in self.words.iter().zip(other.words.iter()).enumerate() {
-            let mut w = a & b;
-            while w != 0 {
-                let bit = w.trailing_zeros();
-                f((wi as u32 * 64 + bit) as u16);
-                w &= w - 1;
-            }
-        }
+    pub fn for_each_and<F: FnMut(u16)>(&self, other: &BitRecord, f: F) {
+        bits_for_each_and(&self.words, &other.words, f);
     }
 
     /// Appends every dense id set in `self ∩ other` to `out`, ascending.
@@ -211,15 +272,8 @@ impl BitRecord {
     }
 
     /// Invokes `f` with every set dense id, ascending.
-    pub fn for_each<F: FnMut(u16)>(&self, mut f: F) {
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros();
-                f((wi as u32 * 64 + bit) as u16);
-                w &= w - 1;
-            }
-        }
+    pub fn for_each<F: FnMut(u16)>(&self, f: F) {
+        bits_for_each(&self.words, f);
     }
 }
 
