@@ -1,0 +1,12 @@
+//! Scenario evaluation matrix (see `disassoc_bench::scenario_bench`): every
+//! workload of the `Scenario` matrix through {full, incremental} x
+//! {in-memory, store}, with `verify_structure` asserted on every output,
+//! written to `experiments/out/BENCH_scenarios.json`.
+//!
+//! Usage: `cargo run --release -p disassoc-bench --bin bench_scenarios
+//! [--scale N]` (N divides each workload's record count; default 1).
+
+fn main() {
+    let scale = disassoc_bench::parse_scale_arg(1);
+    disassoc_bench::scenario_bench::bench_scenarios(scale).finish();
+}

@@ -17,6 +17,7 @@
 pub mod core_bench;
 pub mod experiment;
 pub mod figures;
+pub mod scenario_bench;
 pub mod store_bench;
 pub mod workloads;
 

@@ -1,0 +1,216 @@
+//! Scenario evaluation harness (`BENCH_scenarios`): correctness coverage
+//! measured like perf.
+//!
+//! For every workload of the [`Scenario`] matrix (dense market-basket,
+//! sparse query-log, WV1 twin, unit-Zipf) the harness runs the anonymizer
+//! through all four execution modes —
+//!
+//! * **full / in-memory** — one-shot [`Disassociator::anonymize`],
+//! * **incremental / in-memory** — a 95% base build plus a 5% append
+//!   through [`Disassociator::anonymize_incremental`],
+//! * **full / store** — the streaming [`Pipeline`] over a persisted store,
+//! * **incremental / store** — an [`IncrementalPipeline`] over the base
+//!   store, appending 5% and republishing only dirty batches to a
+//!   [`ChunkDir`],
+//!
+//! and **asserts `verify_structure` on every published output** before any
+//! timing is reported: a scenario that breaks the k^m-anonymity guarantee
+//! fails the harness, it does not produce a number.  Utility is tracked via
+//! the paper's `tlost` metric for both the full and the incremental
+//! publication, and the incremental series records how much of the
+//! clustering each append actually dirtied.
+//!
+//! One [`Series`] per workload goes to `experiments/out/BENCH_scenarios.json`.
+
+use crate::experiment::{ExperimentReport, Series};
+use datagen::Scenario;
+use disassoc_store::{ChunkDir, Store, StoreConfig};
+use disassociation::pipeline::{CollectSink, Pipeline};
+use disassociation::verify::verify_structure;
+use disassociation::{DisassociationConfig, Disassociator, IncrementalPipeline};
+use std::time::Instant;
+use transact::{Dataset, Record};
+
+/// The privacy parameters of the paper's default evaluation setting.
+const K: usize = 5;
+const M: usize = 2;
+/// Fraction of each workload held back as the append set (5%).
+const APPEND_DIVISOR: usize = 20;
+
+/// Runs the full evaluation matrix at `1/scale` of each workload's size and
+/// reports the `BENCH_scenarios.json` trajectory.
+///
+/// # Panics
+/// Panics if any mode of any workload publishes a dataset that fails
+/// `verify_structure` — guarantee violations are harness failures.
+pub fn bench_scenarios(scale: usize) -> ExperimentReport {
+    let scale = scale.max(1);
+    let mut report = ExperimentReport::new(
+        "BENCH_scenarios",
+        "scenario matrix: workloads x {full, incremental} x {memory, store}, verify_structure on every output",
+        &format!("k={K}, m={M}, 95/5 base/append split, one series per workload"),
+        scale,
+    );
+    for scenario in Scenario::ALL {
+        report.add_series(run_scenario(scenario, scale));
+    }
+    report
+}
+
+fn run_scenario(scenario: Scenario, scale: usize) -> Series {
+    let dataset = scenario.generate_scaled(scale);
+    let records: Vec<Record> = dataset.records().to_vec();
+    let n = records.len();
+    let split = n - (n / APPEND_DIVISOR).max(1);
+    let (base, delta) = records.split_at(split);
+    let config = DisassociationConfig {
+        k: K,
+        m: M,
+        ..Default::default()
+    };
+    let disassociator = Disassociator::new(config.clone());
+    let batch_size = (n / 4).max(64);
+
+    // Full / in-memory.
+    let started = Instant::now();
+    let full = disassociator.anonymize(&dataset);
+    let full_memory_s = started.elapsed().as_secs_f64();
+    assert_verified(scenario, "full/memory", &full.dataset);
+
+    // Incremental / in-memory: build on the base (untimed — it is the run
+    // being amortized), then time the append alone.
+    let mut run = disassociator.anonymize_incremental(Dataset::from_records(base.to_vec()));
+    let started = Instant::now();
+    let outcome = run.append(delta);
+    let incremental_memory_s = started.elapsed().as_secs_f64();
+    let incremental_published = run.published_dataset();
+    assert_verified(scenario, "incremental/memory", &incremental_published);
+
+    // Full / store: persist everything, stream the pipeline off disk.
+    let full_dir = tmpdir(scenario, "full");
+    let full_store_s = {
+        let mut store = Store::open(&full_dir, StoreConfig::default()).expect("open store");
+        store.append_batch(&records).expect("ingest");
+        store.flush().expect("flush");
+        let started = Instant::now();
+        let mut source = store.source(batch_size);
+        let mut sink = CollectSink::for_config(&config);
+        Pipeline::new(config.clone())
+            .source(&mut source)
+            .sink(&mut sink)
+            .run()
+            .expect("store pipeline");
+        let secs = started.elapsed().as_secs_f64();
+        assert_verified(scenario, "full/store", &sink.into_output().dataset);
+        secs
+    };
+    std::fs::remove_dir_all(&full_dir).ok();
+
+    // Incremental / store: base store + committed chunk dir, then time the
+    // append plus the dirty-only republish.
+    let incr_dir = tmpdir(scenario, "incr");
+    let chunks_dir = incr_dir.join("chunks");
+    let (incremental_store_s, republished_batches, total_batches) = {
+        let store_dir = incr_dir.join("store");
+        let mut store = Store::open(&store_dir, StoreConfig::default()).expect("open store");
+        store.append_batch(base).expect("ingest base");
+        store.flush().expect("flush");
+        let mut pipeline = {
+            let mut source = store.source(batch_size);
+            IncrementalPipeline::build(config.clone(), &mut source).expect("build")
+        };
+        let mut chunks = ChunkDir::open(&chunks_dir).expect("open chunk dir");
+        pipeline.publish_all(&mut chunks).expect("initial publish");
+
+        let started = Instant::now();
+        pipeline.append(delta);
+        store.append_batch(delta).expect("persist delta");
+        store.flush().expect("flush delta");
+        let republished = pipeline.publish_dirty(&mut chunks).expect("republish");
+        let secs = started.elapsed().as_secs_f64();
+
+        let combined = chunks
+            .combined_dataset()
+            .expect("read chunks")
+            .expect("nonempty publication");
+        assert_verified(scenario, "incremental/store", &combined);
+        (secs, republished, pipeline.batch_count())
+    };
+    std::fs::remove_dir_all(&incr_dir).ok();
+
+    // Utility: the paper's tlost for both publications over the same
+    // original records.
+    let tlost_full = metrics::tlost(&dataset, &full.dataset);
+    let tlost_incremental = metrics::tlost(&dataset, &incremental_published);
+
+    let mut series = Series::new(scenario.name());
+    series.push("records", n as f64);
+    series.push("append_records", delta.len() as f64);
+    series.push("full_memory_s", full_memory_s);
+    series.push("incremental_memory_s", incremental_memory_s);
+    series.push("full_store_s", full_store_s);
+    series.push("incremental_store_s", incremental_store_s);
+    series.push("dirty_cluster_fraction", outcome.dirty_fraction());
+    series.push("new_clusters", outcome.new_clusters as f64);
+    series.push("republished_batches", republished_batches as f64);
+    series.push("total_batches", total_batches as f64);
+    series.push("tlost_full", tlost_full);
+    series.push("tlost_incremental", tlost_incremental);
+    series
+}
+
+fn assert_verified(
+    scenario: Scenario,
+    mode: &str,
+    published: &disassociation::DisassociatedDataset,
+) {
+    let report = verify_structure(published);
+    assert!(
+        report.is_ok(),
+        "{} [{mode}] violates the k^m-anonymity guarantee: {:?}",
+        scenario.name(),
+        report.violations
+    );
+}
+
+fn tmpdir(scenario: Scenario, mode: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "disassoc_bench_scenarios_{}_{mode}_{}",
+        scenario.name(),
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_produces_one_series_per_workload() {
+        let report = bench_scenarios(500);
+        assert_eq!(report.id, "BENCH_scenarios");
+        let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        let expected: Vec<&str> = Scenario::ALL.iter().map(Scenario::name).collect();
+        assert_eq!(names, expected);
+        for series in &report.series {
+            for point in [
+                "full_memory_s",
+                "incremental_memory_s",
+                "full_store_s",
+                "incremental_store_s",
+                "dirty_cluster_fraction",
+                "tlost_full",
+                "tlost_incremental",
+            ] {
+                assert!(
+                    series.points.iter().any(|(x, _)| x == point),
+                    "series {} lacks point {point}",
+                    series.name
+                );
+            }
+        }
+    }
+}

@@ -46,6 +46,83 @@ impl HorizontalPartition {
     }
 }
 
+/// One decision node of a recorded HORPART recursion tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SplitNode {
+    /// An internal split on `term`: records containing the term descend into
+    /// `with`, the rest into `without`.  A `without` of `None` means every
+    /// record of this partition carried the term, so nothing recursed there.
+    Split {
+        term: TermId,
+        with: usize,
+        without: Option<usize>,
+    },
+    /// A finished partition, published as cluster `cluster`.
+    Leaf { cluster: usize },
+}
+
+/// The recorded split decisions of one [`horizontal_partition_traced`] run —
+/// a replayable form of Algorithm HORPART's recursion tree.
+///
+/// Routing a *new* record down the tree applies exactly the split criteria
+/// the original run used ("does the record contain the split term?"), so an
+/// appended record lands in the cluster the original clustering would have
+/// put it in.  This is what makes incremental re-anonymization
+/// ([`crate::incremental`]) honor the base run's horizontal partitioning.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitTree {
+    nodes: Vec<SplitNode>,
+}
+
+impl SplitTree {
+    /// Whether the tree recorded any decisions (false for an empty dataset).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Routes `record` down the recorded splits; returns the target cluster
+    /// index and the number of split terms the record actually contained
+    /// (its *affinity* with the chosen path).  `None` only for an empty tree.
+    ///
+    /// A record missing a split term whose `without` side never existed in
+    /// the base run (every base record had the term) stays on the `with`
+    /// side — the closest cluster the recorded tree can offer.
+    pub fn route(&self, record: &Record) -> Option<(usize, usize)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut at = 0usize;
+        let mut matched = 0usize;
+        loop {
+            match &self.nodes[at] {
+                SplitNode::Leaf { cluster } => return Some((*cluster, matched)),
+                SplitNode::Split {
+                    term,
+                    with,
+                    without,
+                } => {
+                    if record.contains(*term) {
+                        matched += 1;
+                        at = *with;
+                    } else {
+                        at = without.unwrap_or(*with);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrites leaf cluster indices through `map` (old index → new index),
+    /// as produced by [`merge_small_clusters_with_map`].
+    pub fn remap_clusters(&mut self, map: &[usize]) {
+        for node in &mut self.nodes {
+            if let SplitNode::Leaf { cluster } = node {
+                *cluster = map[*cluster];
+            }
+        }
+    }
+}
+
 /// Splits `dataset` into clusters of at most `max_cluster_size` records
 /// (except where every candidate splitting term is exhausted — see
 /// DESIGN.md, interpretive choice 2).
@@ -57,23 +134,44 @@ pub fn horizontal_partition(
     max_cluster_size: usize,
     ignore_terms: &BTreeSet<TermId>,
 ) -> HorizontalPartition {
+    horizontal_partition_traced(dataset, max_cluster_size, ignore_terms).0
+}
+
+/// [`horizontal_partition`] that also records the recursion tree, so new
+/// records can later be routed through the *same* split criteria.  The
+/// returned partition is identical to the untraced function's.
+pub fn horizontal_partition_traced(
+    dataset: &Dataset,
+    max_cluster_size: usize,
+    ignore_terms: &BTreeSet<TermId>,
+) -> (HorizontalPartition, SplitTree) {
     let max_cluster_size = max_cluster_size.max(1);
     let all_indices: Vec<usize> = (0..dataset.len()).collect();
     if dataset.is_empty() {
-        return HorizontalPartition { clusters: vec![] };
+        return (
+            HorizontalPartition { clusters: vec![] },
+            SplitTree::default(),
+        );
     }
 
-    // Work stack of (record indices, ignore set). The ignore set is shared
-    // along a path of the recursion tree; cloning it per node is acceptable
-    // because its size is bounded by the recursion depth.
-    let mut stack: Vec<(Vec<usize>, BTreeSet<TermId>)> = vec![(all_indices, ignore_terms.clone())];
+    // Work stack of (record indices, ignore set, tree-node id). The ignore
+    // set is shared along a path of the recursion tree; cloning it per node
+    // is acceptable because its size is bounded by the recursion depth.
+    let mut tree = SplitTree {
+        nodes: vec![SplitNode::Leaf {
+            cluster: usize::MAX,
+        }],
+    };
+    let mut stack: Vec<(Vec<usize>, BTreeSet<TermId>, usize)> =
+        vec![(all_indices, ignore_terms.clone(), 0)];
     let mut clusters = Vec::new();
 
-    while let Some((indices, ignore)) = stack.pop() {
-        if indices.is_empty() {
-            continue;
-        }
+    while let Some((indices, ignore, node_id)) = stack.pop() {
+        debug_assert!(!indices.is_empty(), "only non-empty partitions are pushed");
         if indices.len() < max_cluster_size {
+            tree.nodes[node_id] = SplitNode::Leaf {
+                cluster: clusters.len(),
+            };
             clusters.push(indices);
             continue;
         }
@@ -85,6 +183,9 @@ pub fn horizontal_partition(
             .find(|t| !ignore.contains(t));
         let Some(split_term) = candidate else {
             // Every term already used for splitting: publish as one cluster.
+            tree.nodes[node_id] = SplitNode::Leaf {
+                cluster: clusters.len(),
+            };
             clusters.push(indices);
             continue;
         };
@@ -99,17 +200,34 @@ pub fn horizontal_partition(
         }
         // `D1` (records having the term) recurses with the term added to the
         // ignore set; `D2` keeps the current ignore set (Algorithm HORPART,
-        // line 6).
+        // line 6).  The split term was chosen from this partition's support
+        // map, so `with` is never empty; `without` may be.
         let mut ignore_with = ignore.clone();
         ignore_with.insert(split_term);
-        if !with.is_empty() {
-            stack.push((with, ignore_with));
-        }
-        if !without.is_empty() {
-            stack.push((without, ignore));
+        let with_id = tree.nodes.len();
+        tree.nodes.push(SplitNode::Leaf {
+            cluster: usize::MAX,
+        });
+        let without_id = if without.is_empty() {
+            None
+        } else {
+            let id = tree.nodes.len();
+            tree.nodes.push(SplitNode::Leaf {
+                cluster: usize::MAX,
+            });
+            Some(id)
+        };
+        tree.nodes[node_id] = SplitNode::Split {
+            term: split_term,
+            with: with_id,
+            without: without_id,
+        };
+        stack.push((with, ignore_with, with_id));
+        if let Some(id) = without_id {
+            stack.push((without, ignore, id));
         }
     }
-    HorizontalPartition { clusters }
+    (HorizontalPartition { clusters }, tree)
 }
 
 /// Merges clusters smaller than `min_size` into a neighbouring cluster.
@@ -124,18 +242,31 @@ pub fn horizontal_partition(
 /// the HORPART output (adjacent clusters come from nearby splits, so they are
 /// the most similar choice available without re-clustering).
 pub fn merge_small_clusters(partition: &mut HorizontalPartition, min_size: usize) {
+    merge_small_clusters_with_map(partition, min_size);
+}
+
+/// [`merge_small_clusters`] that also reports where every original cluster
+/// ended up: entry `i` of the returned vector is the post-merge index of
+/// pre-merge cluster `i`.  Used to keep a recorded [`SplitTree`]'s leaves
+/// pointing at the final clusters.
+pub fn merge_small_clusters_with_map(
+    partition: &mut HorizontalPartition,
+    min_size: usize,
+) -> Vec<usize> {
     if min_size <= 1 || partition.clusters.len() <= 1 {
-        return;
+        return (0..partition.clusters.len()).collect();
     }
+    let mut map = Vec::with_capacity(partition.clusters.len());
     let mut merged: Vec<Vec<usize>> = Vec::with_capacity(partition.clusters.len());
     for cluster in partition.clusters.drain(..) {
-        if cluster.len() < min_size {
-            if let Some(prev) = merged.last_mut() {
-                prev.extend(cluster);
-            } else {
-                merged.push(cluster);
-            }
+        if cluster.len() < min_size && !merged.is_empty() {
+            map.push(merged.len() - 1);
+            merged
+                .last_mut()
+                .expect("checked non-empty")
+                .extend(cluster);
         } else {
+            map.push(merged.len());
             merged.push(cluster);
         }
     }
@@ -143,8 +274,12 @@ pub fn merge_small_clusters(partition: &mut HorizontalPartition, min_size: usize
     if merged.len() > 1 && merged[0].len() < min_size {
         let head = merged.remove(0);
         merged[0].splice(0..0, head);
+        for entry in &mut map {
+            *entry = entry.saturating_sub(1);
+        }
     }
     partition.clusters = merged;
+    map
 }
 
 /// Supports of terms restricted to the records at `indices`.

@@ -54,6 +54,7 @@ pub mod anonymity;
 pub mod diversity;
 pub mod error;
 pub mod horpart;
+pub mod incremental;
 pub mod model;
 pub mod pipeline;
 pub mod query;
@@ -64,6 +65,7 @@ pub mod verify;
 pub mod verpart;
 
 pub use error::{ConfigError, Error, SinkError, SourceError};
+pub use incremental::{AppendOptions, AppendOutcome, IncrementalPipeline, IncrementalRun};
 pub use model::{
     Cluster, ClusterNode, DisassociatedDataset, JointCluster, RecordChunk, SharedChunk, TermChunk,
 };
@@ -371,7 +373,7 @@ impl Disassociator {
             .collect()
     }
 
-    fn partition_one(
+    pub(crate) fn partition_one(
         &self,
         cluster_index: usize,
         indices: &[usize],

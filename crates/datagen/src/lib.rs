@@ -11,7 +11,11 @@
 //! * [`zipf`] — Zipf / truncated-Poisson samplers used by both generators,
 //! * [`profiles`] — statistical simulators of POS / WV1 / WV2 calibrated to
 //!   the numbers published in Figure 6 of the paper (|D|, |T|, max and
-//!   average record size) with a Zipf-like term-frequency distribution.
+//!   average record size) with a Zipf-like term-frequency distribution,
+//! * [`scenarios`] — the named workload matrix of the scenario evaluation
+//!   harness (dense market-basket vs. sparse query-log vs. a WV1 twin vs. a
+//!   unit-Zipf middle ground), shared by `bench_scenarios`, the metamorphic
+//!   datagen tests and CI smoke.
 //!
 //! All generators are deterministic given a seed, so every experiment in the
 //! reproduction is repeatable.
@@ -21,8 +25,10 @@
 
 pub mod profiles;
 pub mod quest;
+pub mod scenarios;
 pub mod zipf;
 
 pub use profiles::{DatasetProfile, RealDataset};
 pub use quest::{QuestConfig, QuestGenerator};
+pub use scenarios::Scenario;
 pub use zipf::{PoissonSampler, ZipfSampler};

@@ -1,0 +1,193 @@
+//! Scenario workloads for the evaluation harness.
+//!
+//! The paper's evaluation (and `BENCH_core`) exercises essentially one
+//! workload shape — Quest market-basket data.  Real transaction logs differ
+//! along two axes that dominate disassociation behaviour:
+//!
+//! * **density** — dense market baskets (many terms per record over a small
+//!   domain, so supports are high and most terms clear `k`) vs. sparse
+//!   query logs (few terms per record over a huge domain, so most terms are
+//!   rare and fall into term chunks);
+//! * **skew** — how steep the Zipf term-frequency tail is, which decides
+//!   how much of the domain the HORPART split terms can discriminate.
+//!
+//! [`Scenario`] packages one named [`DatasetProfile`] per corner of that
+//! space (plus a WV1 twin tying the harness back to the paper's Figure 6
+//! statistics), so every consumer — `bench_scenarios`, the metamorphic
+//! datagen tests, CI smoke — iterates the same matrix.
+
+use crate::profiles::DatasetProfile;
+use transact::Dataset;
+
+/// A named synthetic workload of the evaluation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Dense market-basket data: long records over a small domain with a
+    /// gentle Zipf tail — most terms are frequent, record chunks dominate.
+    MarketBasket,
+    /// Sparse query-log data: short records over a large domain with a
+    /// steep Zipf tail — most terms are rare, term chunks dominate.
+    QueryLog,
+    /// A twin of the paper's WV1 click-stream (Figure 6 statistics) under
+    /// a scenario-local seed, connecting the matrix to the paper's data.
+    Wv1Twin,
+    /// The middle of the density axis with unit Zipf exponent — the
+    /// canonical heavy-tail shape, used to probe skew sensitivity.
+    ZipfSkew,
+}
+
+impl Scenario {
+    /// Every scenario, in evaluation-matrix order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::MarketBasket,
+        Scenario::QueryLog,
+        Scenario::Wv1Twin,
+        Scenario::ZipfSkew,
+    ];
+
+    /// Stable display name (used as the series key in `BENCH_scenarios`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::MarketBasket => "market-basket",
+            Scenario::QueryLog => "query-log",
+            Scenario::Wv1Twin => "wv1-twin",
+            Scenario::ZipfSkew => "zipf-skew",
+        }
+    }
+
+    /// The statistical profile generating this scenario's data.
+    pub fn profile(&self) -> DatasetProfile {
+        match self {
+            Scenario::MarketBasket => DatasetProfile {
+                name: "market-basket",
+                num_records: 50_000,
+                domain_size: 600,
+                max_record_len: 60,
+                avg_record_len: 12.0,
+                zipf_exponent: 0.75,
+                seed: 0xBA5E,
+            },
+            Scenario::QueryLog => DatasetProfile {
+                name: "query-log",
+                num_records: 50_000,
+                domain_size: 8_000,
+                max_record_len: 40,
+                avg_record_len: 3.0,
+                zipf_exponent: 1.1,
+                seed: 0x0106,
+            },
+            Scenario::Wv1Twin => DatasetProfile {
+                name: "wv1-twin",
+                num_records: 59_602,
+                domain_size: 497,
+                max_record_len: 267,
+                avg_record_len: 2.5,
+                zipf_exponent: 0.95,
+                seed: 0x571F,
+            },
+            Scenario::ZipfSkew => DatasetProfile {
+                name: "zipf-skew",
+                num_records: 50_000,
+                domain_size: 2_000,
+                max_record_len: 80,
+                avg_record_len: 6.0,
+                zipf_exponent: 1.0,
+                seed: 0x21FF,
+            },
+        }
+    }
+
+    /// Generates the scenario's dataset at `1/scale` of its full record
+    /// count (domain size kept intact, like the real-dataset profiles).
+    pub fn generate_scaled(&self, scale: usize) -> Dataset {
+        self.profile().generate_scaled(scale)
+    }
+}
+
+/// Fraction of all term occurrences carried by the most frequent
+/// `fraction` of the *covered* domain — a scale-free measure of the
+/// term-frequency tail.  A steep Zipf exponent concentrates occurrences in
+/// few terms (high share); a flat one spreads them (share approaches
+/// `fraction`).
+pub fn top_share(dataset: &Dataset, fraction: f64) -> f64 {
+    let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for record in dataset.iter() {
+        for term in record.iter() {
+            *counts.entry(term.raw()).or_insert(0) += 1;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.into_values().collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let take = ((fraction.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    let top: u64 = sorted.iter().take(take).sum();
+    top as f64 / total as f64
+}
+
+/// Average record length divided by covered domain size — the density of
+/// the workload (market baskets are dense, query logs sparse).
+pub fn density(dataset: &Dataset) -> f64 {
+    let domain = dataset.domain_size();
+    if domain == 0 {
+        0.0
+    } else {
+        dataset.avg_record_len() / domain as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            Scenario::ALL.iter().map(Scenario::name).collect();
+        assert_eq!(names.len(), Scenario::ALL.len());
+        assert!(names.contains("market-basket"));
+        assert!(names.contains("query-log"));
+        assert!(names.contains("wv1-twin"));
+        assert!(names.contains("zipf-skew"));
+    }
+
+    #[test]
+    fn wv1_twin_matches_figure6_statistics() {
+        let profile = Scenario::Wv1Twin.profile();
+        let wv1 = crate::RealDataset::Wv1.profile();
+        assert_eq!(profile.num_records, wv1.num_records);
+        assert_eq!(profile.domain_size, wv1.domain_size);
+        assert_eq!(profile.max_record_len, wv1.max_record_len);
+        assert_eq!(profile.avg_record_len, wv1.avg_record_len);
+        assert_eq!(profile.zipf_exponent, wv1.zipf_exponent);
+        // ...under its own seed: the twin is not the same sampled dataset.
+        assert_ne!(profile.seed, wv1.seed);
+    }
+
+    #[test]
+    fn market_basket_is_denser_than_query_log() {
+        let basket = Scenario::MarketBasket.generate_scaled(25);
+        let log = Scenario::QueryLog.generate_scaled(25);
+        assert!(
+            density(&basket) > 4.0 * density(&log),
+            "market-basket density {} should dwarf query-log density {}",
+            density(&basket),
+            density(&log)
+        );
+    }
+
+    #[test]
+    fn steeper_zipf_concentrates_the_tail() {
+        let steep = Scenario::QueryLog.generate_scaled(25);
+        let flat = Scenario::MarketBasket.generate_scaled(25);
+        let steep_share = top_share(&steep, 0.1);
+        let flat_share = top_share(&flat, 0.1);
+        assert!(
+            steep_share > flat_share,
+            "query-log (zipf 1.1) top-10% share {steep_share} should exceed \
+             market-basket (zipf 0.75) share {flat_share}"
+        );
+    }
+}

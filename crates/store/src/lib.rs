@@ -45,6 +45,7 @@
 pub mod compact;
 pub mod encode;
 pub mod manifest;
+pub mod publish;
 pub mod scan;
 pub mod segment;
 pub mod source;
@@ -52,6 +53,7 @@ pub mod wal;
 
 pub use compact::CompactionStats;
 pub use manifest::{Manifest, SegmentEntry};
+pub use publish::{BatchChunks, ChunkDir, ChunkEntry, ChunkManifest};
 pub use scan::RecordBatchIter;
 pub use segment::{SegmentMeta, TermSummary};
 pub use source::StoreSource;

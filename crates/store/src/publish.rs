@@ -1,0 +1,477 @@
+//! Atomic publication of anonymized chunks, one file per pipeline batch.
+//!
+//! A [`ChunkDir`] is the durable output side of a store-backed run: each
+//! batch's published clusters live in their own `batch-<i>.g<gen>.json`
+//! file, and a small manifest (`CHUNKS.json`) names the current file of
+//! every batch.  Writes are two-phase:
+//!
+//! 1. [`accept`](ChunkDir::accept) stages each batch file (write + fsync)
+//!    under a generation-tagged name the manifest does not yet reference;
+//! 2. [`finish`](ChunkDir::finish) commits them all with one atomic
+//!    manifest replace (write temp, fsync, rename).
+//!
+//! The manifest rename is the *only* commit point, so a crash anywhere in a
+//! republish leaves the directory with either the complete old chunk set or
+//! the complete new one — never a mix.  Staged files orphaned by a crash
+//! are garbage-collected on the next [`ChunkDir::open`].
+//!
+//! An incremental append republishes only dirty batches: unchanged batches
+//! keep their old files byte-for-byte (and their manifest entries), which
+//! makes "clean chunks were not rewritten" directly observable from the
+//! file system.
+
+use crate::{Result, StoreError};
+use disassociation::model::DisassociatedDataset;
+use disassociation::{BatchOutput, ChunkSink, SinkError};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+/// File name of the chunk manifest inside a publication directory.
+pub const CHUNK_MANIFEST_FILE: &str = "CHUNKS.json";
+const CHUNK_MANIFEST_TMP: &str = "CHUNKS.tmp";
+/// Current chunk-manifest format version.
+pub const CHUNK_MANIFEST_VERSION: u32 = 1;
+
+/// One published batch, as recorded in the chunk manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkEntry {
+    /// Pipeline batch index this file publishes.
+    pub batch_index: usize,
+    /// Offset of the batch's first record in the canonical record order.
+    pub record_offset: usize,
+    /// File name relative to the publication directory.
+    pub file: String,
+    /// The publish generation that wrote this file.
+    pub generation: u64,
+}
+
+/// The chunk manifest document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkManifest {
+    /// Format version (for forward compatibility).
+    pub version: u32,
+    /// The last committed publish generation (0 = nothing published).
+    pub generation: u64,
+    /// Current file of every published batch, sorted by batch index.
+    pub batches: Vec<ChunkEntry>,
+}
+
+impl Default for ChunkManifest {
+    fn default() -> Self {
+        ChunkManifest {
+            version: CHUNK_MANIFEST_VERSION,
+            generation: 0,
+            batches: Vec::new(),
+        }
+    }
+}
+
+impl ChunkManifest {
+    fn load(dir: &Path) -> Result<ChunkManifest> {
+        let path = dir.join(CHUNK_MANIFEST_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ChunkManifest::default())
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let manifest: ChunkManifest =
+            serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+                file: path.display().to_string(),
+                message: format!("chunk manifest is not valid JSON: {e}"),
+            })?;
+        if manifest.version != CHUNK_MANIFEST_VERSION {
+            return Err(StoreError::Corrupt {
+                file: path.display().to_string(),
+                message: format!("unsupported chunk manifest version {}", manifest.version),
+            });
+        }
+        Ok(manifest)
+    }
+
+    fn store(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join(CHUNK_MANIFEST_TMP);
+        let final_path = dir.join(CHUNK_MANIFEST_FILE);
+        let bytes = serde_json::to_vec_pretty(self).map_err(|e| StoreError::Corrupt {
+            file: tmp.display().to_string(),
+            message: format!("chunk manifest serialization failed: {e}"),
+        })?;
+        std::fs::write(&tmp, &bytes)?;
+        File::open(&tmp)?.sync_all()?;
+        std::fs::rename(&tmp, &final_path)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// The on-disk content of one published batch file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchChunks {
+    /// Pipeline batch index.
+    pub batch_index: usize,
+    /// Offset of the batch's first record in the canonical record order.
+    pub record_offset: usize,
+    /// The batch's published clusters.
+    pub dataset: DisassociatedDataset,
+}
+
+/// A manifest-committed directory of published chunk files — the
+/// [`ChunkSink`] for store-backed (and incremental) runs.
+///
+/// Accepted batches are staged; nothing becomes visible until `finish`
+/// commits the manifest.  Dropping a `ChunkDir` with staged, uncommitted
+/// batches simply leaves orphan files for the next open to collect — the
+/// previously committed chunk set stays intact.
+#[derive(Debug)]
+pub struct ChunkDir {
+    dir: PathBuf,
+    manifest: ChunkManifest,
+    staged: Vec<ChunkEntry>,
+}
+
+impl ChunkDir {
+    /// Opens (creating if needed) a publication directory, loading its
+    /// manifest and deleting any `batch-*.json` files a crashed publish
+    /// left unreferenced.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ChunkDir> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = ChunkManifest::load(&dir)?;
+        let this = ChunkDir {
+            dir,
+            manifest,
+            staged: Vec::new(),
+        };
+        this.remove_orphans()?;
+        Ok(this)
+    }
+
+    /// The publication directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The committed manifest.
+    pub fn manifest(&self) -> &ChunkManifest {
+        &self.manifest
+    }
+
+    /// True when no publish has ever been committed here.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.batches.is_empty()
+    }
+
+    /// Per committed batch: its publish generation, sorted by batch index.
+    /// A batch whose generation did not move was not rewritten.
+    pub fn generations(&self) -> Vec<(usize, u64)> {
+        self.manifest
+            .batches
+            .iter()
+            .map(|b| (b.batch_index, b.generation))
+            .collect()
+    }
+
+    /// Reads the committed chunk file of `batch_index`.
+    pub fn read_batch(&self, batch_index: usize) -> Result<BatchChunks> {
+        let entry = self
+            .manifest
+            .batches
+            .iter()
+            .find(|b| b.batch_index == batch_index)
+            .ok_or_else(|| StoreError::corrupt(format!("batch {batch_index} is not published")))?;
+        let path = self.dir.join(&entry.file);
+        let text = std::fs::read_to_string(&path)?;
+        serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+            file: path.display().to_string(),
+            message: format!("chunk file is not valid JSON: {e}"),
+        })
+    }
+
+    /// The combined published dataset across all committed batches, in
+    /// batch order.  Returns `None` when nothing is published.
+    pub fn combined_dataset(&self) -> Result<Option<DisassociatedDataset>> {
+        let mut combined: Option<DisassociatedDataset> = None;
+        for entry in &self.manifest.batches {
+            let batch = self.read_batch(entry.batch_index)?;
+            match &mut combined {
+                None => combined = Some(batch.dataset),
+                Some(d) => {
+                    if d.k != batch.dataset.k || d.m != batch.dataset.m {
+                        return Err(StoreError::corrupt(format!(
+                            "batch {} was published with (k={}, m={}), expected (k={}, m={})",
+                            entry.batch_index, batch.dataset.k, batch.dataset.m, d.k, d.m
+                        )));
+                    }
+                    d.clusters.extend(batch.dataset.clusters);
+                }
+            }
+        }
+        Ok(combined)
+    }
+
+    fn file_name(batch_index: usize, generation: u64) -> String {
+        format!("batch-{batch_index:06}.g{generation:06}.json")
+    }
+
+    /// The generation the next `finish` will commit.
+    pub fn next_generation(&self) -> u64 {
+        self.manifest.generation + 1
+    }
+
+    fn stage(&mut self, batch: &BatchOutput) -> Result<()> {
+        let generation = self.next_generation();
+        let file = Self::file_name(batch.batch_index, generation);
+        let content = BatchChunks {
+            batch_index: batch.batch_index,
+            record_offset: batch.record_offset,
+            dataset: batch.output.dataset.clone(),
+        };
+        let bytes = serde_json::to_vec(&content).map_err(|e| StoreError::Corrupt {
+            file: file.clone(),
+            message: format!("chunk serialization failed: {e}"),
+        })?;
+        // Re-publishing content identical to the committed file is a no-op:
+        // the committed entry (name, generation, bytes) stays as it is.
+        // This keeps "clean chunks are never rewritten" true even for
+        // callers that rebuilt their pipeline state from scratch (a fresh
+        // `disassoc append` process re-delivers every batch; only the ones
+        // whose content actually changed hit the disk).
+        if let Some(committed) = self
+            .manifest
+            .batches
+            .iter()
+            .find(|b| b.batch_index == batch.batch_index)
+        {
+            if let Ok(existing) = std::fs::read(self.dir.join(&committed.file)) {
+                if existing == bytes {
+                    self.staged.retain(|s| s.batch_index != batch.batch_index);
+                    return Ok(());
+                }
+            }
+        }
+        let path = self.dir.join(&file);
+        std::fs::write(&path, &bytes)?;
+        File::open(&path)?.sync_all()?;
+        self.staged.retain(|s| s.batch_index != batch.batch_index);
+        self.staged.push(ChunkEntry {
+            batch_index: batch.batch_index,
+            record_offset: batch.record_offset,
+            file,
+            generation,
+        });
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let mut next = self.manifest.clone();
+        next.generation = self.next_generation();
+        let mut replaced: Vec<String> = Vec::new();
+        for entry in self.staged.drain(..) {
+            if let Some(old) = next
+                .batches
+                .iter_mut()
+                .find(|b| b.batch_index == entry.batch_index)
+            {
+                replaced.push(std::mem::replace(old, entry).file);
+            } else {
+                next.batches.push(entry);
+            }
+        }
+        next.batches.sort_by_key(|b| b.batch_index);
+        next.store(&self.dir)?;
+        self.manifest = next;
+        // The old files are unreferenced as of the committed rename;
+        // deleting them is best-effort cleanup, not part of the commit.
+        for file in replaced {
+            let _ = std::fs::remove_file(self.dir.join(file));
+        }
+        Ok(())
+    }
+
+    /// Deletes `batch-*.json` files not referenced by the committed
+    /// manifest (orphans of a crashed publish).  Returns how many were
+    /// removed.
+    pub fn remove_orphans(&self) -> Result<usize> {
+        let live: std::collections::BTreeSet<&str> = self
+            .manifest
+            .batches
+            .iter()
+            .map(|b| b.file.as_str())
+            .collect();
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("batch-") && name.ends_with(".json") && !live.contains(name) {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        // A temp manifest is equally an orphan of a crashed commit.
+        let tmp = self.dir.join(CHUNK_MANIFEST_TMP);
+        if tmp.exists() {
+            std::fs::remove_file(tmp)?;
+        }
+        Ok(removed)
+    }
+}
+
+impl ChunkSink for ChunkDir {
+    fn accept(&mut self, batch: BatchOutput) -> std::result::Result<(), SinkError> {
+        self.stage(&batch)
+            .map_err(|e| SinkError::new(format!("stage chunk batch {}", batch.batch_index), e))
+    }
+
+    fn finish(&mut self) -> std::result::Result<(), SinkError> {
+        self.commit()
+            .map_err(|e| SinkError::new("commit chunk manifest", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disassociation::model::{Cluster, ClusterNode, RecordChunk, TermChunk};
+    use transact::{Record, TermId};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("disassoc_publish_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn output(tag: u32) -> disassociation::DisassociationOutput {
+        let record = || Record::from_ids([TermId::new(tag)]);
+        let chunk = RecordChunk::new(vec![TermId::new(tag)], vec![record(), record()]);
+        disassociation::DisassociationOutput {
+            dataset: DisassociatedDataset {
+                k: 2,
+                m: 2,
+                clusters: vec![ClusterNode::Simple(Cluster {
+                    size: 2,
+                    record_chunks: vec![chunk],
+                    term_chunk: TermChunk::new(Vec::new()),
+                })],
+            },
+            cluster_assignment: vec![vec![0, 1]],
+            phase_seconds: [0.0; 3],
+            refine_passes: 0,
+            refine_converged: true,
+        }
+    }
+
+    fn batch(i: usize, tag: u32) -> BatchOutput {
+        BatchOutput {
+            batch_index: i,
+            record_offset: i * 2,
+            output: output(tag),
+        }
+    }
+
+    #[test]
+    fn publish_commit_and_reload() {
+        let dir = tmpdir("roundtrip");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 20)).unwrap();
+        chunks.finish().unwrap();
+        assert_eq!(chunks.manifest().generation, 1);
+
+        let reopened = ChunkDir::open(&dir).unwrap();
+        assert_eq!(reopened.manifest(), chunks.manifest());
+        let combined = reopened.combined_dataset().unwrap().unwrap();
+        assert_eq!(combined.clusters.len(), 2);
+        assert_eq!(reopened.read_batch(1).unwrap().record_offset, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_republish_keeps_clean_files() {
+        let dir = tmpdir("partial");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 20)).unwrap();
+        chunks.finish().unwrap();
+        let file0 = chunks.manifest().batches[0].file.clone();
+
+        chunks.accept(batch(1, 21)).unwrap();
+        chunks.finish().unwrap();
+        assert_eq!(chunks.manifest().generation, 2);
+        assert_eq!(chunks.generations(), vec![(0, 1), (1, 2)]);
+        assert_eq!(chunks.manifest().batches[0].file, file0);
+        let reloaded = chunks.read_batch(1).unwrap();
+        assert_eq!(reloaded.dataset, output(21).dataset);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_stage_is_invisible_and_collected() {
+        let dir = tmpdir("orphan");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.finish().unwrap();
+        let committed = chunks.manifest().clone();
+
+        // Stage a replacement but never finish: simulated crash.
+        chunks.accept(batch(0, 11)).unwrap();
+        drop(chunks);
+
+        let reopened = ChunkDir::open(&dir).unwrap();
+        assert_eq!(reopened.manifest(), &committed);
+        let combined = reopened.combined_dataset().unwrap().unwrap();
+        assert_eq!(combined, output(10).dataset);
+        // Exactly the one committed file remains.
+        let files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("batch-"))
+            .collect();
+        assert_eq!(files.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restaging_identical_content_is_a_no_op() {
+        let dir = tmpdir("identical");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 20)).unwrap();
+        chunks.finish().unwrap();
+        let committed = chunks.manifest().clone();
+
+        // Re-delivering the same content (as a fresh `disassoc append`
+        // process does) rewrites nothing: nothing staged, manifest
+        // untouched.
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 20)).unwrap();
+        chunks.finish().unwrap();
+        assert_eq!(chunks.manifest(), &committed);
+
+        // A mixed delivery rewrites only the batch whose content changed.
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 21)).unwrap();
+        chunks.finish().unwrap();
+        assert_eq!(chunks.generations(), vec![(0, 1), (1, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_finish_commits_nothing() {
+        let dir = tmpdir("empty");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.finish().unwrap();
+        assert_eq!(chunks.manifest().generation, 0);
+        assert!(!dir.join(CHUNK_MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,203 @@
+//! Acceptance test of incremental re-anonymization (the PR's tentpole):
+//! appending 5% new records to the 50k-record Quest workload (the same
+//! workload `BENCH_core` tracks: 50k transactions, |T| = 5000, avg length
+//! 10) must
+//!
+//! 1. re-run VERPART/REFINE on **fewer than 25% of the clusters** — the
+//!    whole point of the incremental path is that an append does not pay
+//!    for the base corpus again,
+//! 2. republish **only the chunk files whose batches the append dirtied**
+//!    — clean `ChunkDir` entries keep their exact file name and
+//!    generation, and the files on disk keep their exact bytes,
+//! 3. still publish a dataset that passes `verify_structure`, and
+//! 4. agree with the store-backed route: appending the same delta to a
+//!    persisted `Store` and republishing through the pipeline rewrites
+//!    only the affected batch files.
+
+use datagen::{QuestConfig, QuestGenerator};
+use disassoc_store::{ChunkDir, Store, StoreConfig};
+use disassociation::verify::verify_structure;
+use disassociation::{DisassociationConfig, Disassociator, IncrementalPipeline};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use transact::{Dataset, Record};
+
+/// The BENCH_core workload: 50k Quest transactions over a 5000-term domain.
+const RECORDS: usize = 50_000;
+/// 5% of the workload arrives as the append.
+const APPEND_DIVISOR: usize = 20;
+const BATCH: usize = 8_192;
+
+fn quest_50k() -> Vec<Record> {
+    QuestGenerator::generate_with(QuestConfig {
+        num_transactions: RECORDS,
+        domain_size: 5_000,
+        avg_transaction_len: 10.0,
+        seed: 77,
+        ..QuestConfig::default()
+    })
+    .records()
+    .to_vec()
+}
+
+fn config() -> DisassociationConfig {
+    DisassociationConfig {
+        k: 5,
+        m: 2,
+        ..Default::default()
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("incremental_append_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn five_percent_append_to_50k_quest_dirties_under_a_quarter_of_the_clusters() {
+    let records = quest_50k();
+    let split = records.len() - records.len() / APPEND_DIVISOR;
+    let (base, delta) = records.split_at(split);
+
+    let disassociator = Disassociator::new(config());
+    let mut run = disassociator.anonymize_incremental(Dataset::from_records(base.to_vec()));
+    let clusters_before = run.cluster_count();
+    assert!(
+        clusters_before > 100,
+        "the 50k base must produce a real clustering, got {clusters_before} clusters"
+    );
+
+    // Remember every published node so we can prove the clean ones survive
+    // the append byte-for-byte.
+    let before: Vec<Vec<u8>> = run
+        .published_dataset()
+        .clusters
+        .iter()
+        .map(|c| serde_json::to_vec(c).unwrap())
+        .collect();
+    let generation_before = run.generation();
+
+    let outcome = run.append(delta);
+
+    // Acceptance: the append re-ran VERPART/REFINE on < 25% of the clusters.
+    assert_eq!(outcome.appended_records, delta.len());
+    assert!(
+        outcome.dirty_fraction() < 0.25,
+        "append dirtied {:.1}% of clusters ({} of {})",
+        outcome.dirty_fraction() * 100.0,
+        outcome.dirty_clusters,
+        outcome.total_clusters
+    );
+    assert!(
+        outcome.reused_clusters * 4 > outcome.total_clusters * 3,
+        "most clusters must be reused untouched: {outcome:?}"
+    );
+
+    // Every untouched node kept its published bytes.
+    let before_set: std::collections::BTreeSet<&Vec<u8>> = before.iter().collect();
+    let published = run.published_dataset();
+    let mut republished = 0usize;
+    for (generation, cluster) in run.node_generations().iter().zip(&published.clusters) {
+        if *generation <= generation_before {
+            assert!(
+                before_set.contains(&serde_json::to_vec(cluster).unwrap()),
+                "a clean cluster changed bytes during the append"
+            );
+        } else {
+            republished += 1;
+        }
+    }
+    assert_eq!(republished, outcome.republished_chunks);
+    assert!(
+        republished < published.clusters.len(),
+        "the append must leave some chunks untouched"
+    );
+
+    // And the guarantee holds on the merged publication.
+    assert_eq!(published.total_records(), records.len());
+    let report = verify_structure(&published);
+    assert!(report.is_ok(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn store_backed_append_republishes_only_the_dirty_batch_files() {
+    let records = quest_50k();
+    let split = records.len() - records.len() / APPEND_DIVISOR;
+    let (base, delta) = records.split_at(split);
+    let dir = tmpdir("store");
+
+    // Persist the base corpus and build the incremental pipeline off disk —
+    // the same route `disassoc append` takes.
+    let mut store = Store::open(dir.join("store"), StoreConfig::default()).unwrap();
+    store.append_batch(base).unwrap();
+    store.flush().unwrap();
+    let mut pipeline = {
+        let mut source = store.source(BATCH);
+        IncrementalPipeline::build(config(), &mut source).unwrap()
+    };
+    let mut chunks = ChunkDir::open(dir.join("chunks")).unwrap();
+    let initial = pipeline.publish_all(&mut chunks).unwrap();
+    assert_eq!(initial, pipeline.batch_count());
+    assert!(pipeline.dirty_batches().is_empty());
+
+    // Snapshot the committed chunk files: name, generation, and bytes.
+    let snapshot = |chunks: &ChunkDir| -> BTreeMap<usize, (String, u64, Vec<u8>)> {
+        chunks
+            .manifest()
+            .batches
+            .iter()
+            .map(|e| {
+                let bytes = std::fs::read(chunks.dir().join(&e.file)).unwrap();
+                (e.batch_index, (e.file.clone(), e.generation, bytes))
+            })
+            .collect()
+    };
+    let before = snapshot(&chunks);
+    assert_eq!(before.len(), pipeline.batch_count());
+
+    // Append the delta to both the pipeline and the store, then republish
+    // only what the append dirtied.
+    let outcome = pipeline.append(delta);
+    store.append_batch(delta).unwrap();
+    store.flush().unwrap();
+    let dirty = pipeline.dirty_batches();
+    // One append is routed as a unit, so it dirties exactly one batch —
+    // republish cost is one chunk rewrite, not one per batch.
+    assert_eq!(dirty.len(), 1, "one append must dirty exactly one batch");
+    assert!(outcome.dirty_fraction() < 0.25, "outcome: {outcome:?}");
+    let republished = pipeline.publish_dirty(&mut chunks).unwrap();
+    assert_eq!(republished, dirty.len());
+
+    // Clean batches keep their exact file (same name, same generation, same
+    // bytes); dirty batches moved to a newer generation under a new name.
+    let after = snapshot(&chunks);
+    assert_eq!(after.len(), before.len());
+    for (batch, (file, generation, bytes)) in &after {
+        let (old_file, old_generation, old_bytes) = &before[batch];
+        if dirty.contains(batch) {
+            assert!(
+                generation > old_generation,
+                "dirty batch {batch} kept generation {generation}"
+            );
+            assert_ne!(file, old_file, "dirty batch {batch} kept its file name");
+        } else {
+            assert_eq!(file, old_file, "clean batch {batch} was renamed");
+            assert_eq!(generation, old_generation, "clean batch {batch} was bumped");
+            assert_eq!(bytes, old_bytes, "clean batch {batch} was rewritten");
+        }
+    }
+
+    // The republished chunk dir holds the full, verified publication.
+    let combined = chunks.combined_dataset().unwrap().unwrap();
+    assert_eq!(combined.total_records(), records.len());
+    let report = verify_structure(&combined);
+    assert!(report.is_ok(), "violations: {:?}", report.violations);
+
+    // The store now holds every record the chunk dir accounts for.
+    let persisted: usize = store.scan(BATCH).map(|b| b.unwrap().len()).sum();
+    assert_eq!(persisted, records.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,170 @@
+//! Metamorphic tests of the scenario generators (`datagen::scenarios`):
+//! instead of pinning golden outputs, these check the *relations* the
+//! generators promise —
+//!
+//! * same seed, same data: every scenario is deterministic at every scale;
+//! * declared statistics are honored: measured record lengths, domain
+//!   bounds, density ordering and the Zipf term-frequency tail all follow
+//!   the profile that declared them, and raising only the Zipf exponent
+//!   measurably steepens the tail;
+//! * storage round-trip: a scenario written to a transaction file and
+//!   ingested through the real `disassoc ingest` command scans back from
+//!   the store record-for-record unchanged.
+
+use datagen::scenarios::{density, top_share};
+use datagen::Scenario;
+use disassoc_cli::Command;
+use disassoc_store::{Store, StoreConfig};
+use std::path::PathBuf;
+use transact::{Dataset, Record};
+
+/// Keeps the suite fast: 1/50 of each scenario's full record count
+/// (~1000-1200 records) is plenty for the statistical relations below.
+const SCALE: usize = 50;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scenario_datagen_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn every_scenario_is_seed_deterministic() {
+    for scenario in Scenario::ALL {
+        let first = scenario.generate_scaled(SCALE);
+        let second = scenario.generate_scaled(SCALE);
+        assert_eq!(
+            first.records(),
+            second.records(),
+            "{} must regenerate identically from its seed",
+            scenario.name()
+        );
+        assert!(!first.is_empty(), "{} generated nothing", scenario.name());
+    }
+    // Distinct scenarios are actually distinct workloads.
+    let basket = Scenario::MarketBasket.generate_scaled(SCALE);
+    let log = Scenario::QueryLog.generate_scaled(SCALE);
+    assert_ne!(basket.records(), log.records());
+}
+
+#[test]
+fn generated_data_honors_the_declared_profile_statistics() {
+    for scenario in Scenario::ALL {
+        let profile = scenario.profile();
+        let dataset = scenario.generate_scaled(SCALE);
+        let name = scenario.name();
+
+        assert_eq!(dataset.len(), profile.num_records / SCALE, "{name}");
+        for record in dataset.iter() {
+            assert!(
+                record.len() <= profile.max_record_len,
+                "{name}: record of length {} exceeds declared max {}",
+                record.len(),
+                profile.max_record_len
+            );
+            for term in record.iter() {
+                assert!(
+                    (term.raw() as usize) < profile.domain_size,
+                    "{name}: term {} outside declared domain {}",
+                    term.raw(),
+                    profile.domain_size
+                );
+            }
+        }
+        // The measured mean tracks the declared mean (loose band: the
+        // truncated-Poisson length sampler is calibrated, not exact).
+        let measured = dataset.avg_record_len();
+        assert!(
+            measured > profile.avg_record_len * 0.6 && measured < profile.avg_record_len * 1.6,
+            "{name}: measured avg length {measured} far from declared {}",
+            profile.avg_record_len
+        );
+    }
+}
+
+#[test]
+fn density_ordering_follows_the_declared_profiles() {
+    // Declared density (avg_record_len / domain_size) orders the matrix
+    // market-basket > wv1-twin > zipf-skew > query-log, and the *measured*
+    // densities must agree.
+    let measured: Vec<(&str, f64)> = [
+        Scenario::MarketBasket,
+        Scenario::Wv1Twin,
+        Scenario::ZipfSkew,
+        Scenario::QueryLog,
+    ]
+    .iter()
+    .map(|s| (s.name(), density(&s.generate_scaled(SCALE))))
+    .collect();
+    for window in measured.windows(2) {
+        let (denser, sparser) = (&window[0], &window[1]);
+        assert!(
+            denser.1 > sparser.1,
+            "{} (density {}) should be denser than {} (density {})",
+            denser.0,
+            denser.1,
+            sparser.0,
+            sparser.1
+        );
+    }
+}
+
+#[test]
+fn raising_only_the_zipf_exponent_steepens_the_measured_tail() {
+    // The core metamorphic relation: hold every profile field fixed and
+    // move only the skew knob — the top-decile occupancy share must move
+    // with it.
+    let mut flat = Scenario::ZipfSkew.profile();
+    flat.zipf_exponent = 0.5;
+    let mut steep = flat.clone();
+    steep.zipf_exponent = 1.5;
+    let flat_share = top_share(&flat.generate_scaled(SCALE), 0.1);
+    let steep_share = top_share(&steep.generate_scaled(SCALE), 0.1);
+    assert!(
+        steep_share > flat_share + 0.05,
+        "zipf 1.5 top-decile share {steep_share} should clearly exceed zipf 0.5 share {flat_share}"
+    );
+}
+
+#[test]
+fn scenarios_round_trip_through_disassoc_ingest_unchanged() {
+    let dir = tmpdir("roundtrip");
+    for scenario in Scenario::ALL {
+        let dataset: Dataset = scenario.generate_scaled(SCALE);
+        let file = dir.join(format!("{}.dat", scenario.name()));
+        transact::io::write_numeric_transactions_path(&dataset, &file).unwrap();
+        let store_dir = dir.join(format!("{}-store", scenario.name()));
+
+        // The real CLI command, small batches + a compaction pass so the
+        // store actually reorganizes the data before we read it back.
+        let args: Vec<String> = [
+            "ingest",
+            "--input",
+            file.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--batch-size",
+            "173",
+            "--compact",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let command = Command::parse(&args).unwrap();
+        let mut out = Vec::new();
+        command
+            .run(&mut out)
+            .unwrap_or_else(|e| panic!("{}: ingest failed: {e}", scenario.name()));
+
+        let store = Store::open(&store_dir, StoreConfig::default()).unwrap();
+        let scanned: Vec<Record> = store.scan(256).flat_map(|b| b.unwrap()).collect();
+        assert_eq!(
+            scanned,
+            dataset.records(),
+            "{}: store scan differs from the generated records",
+            scenario.name()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -202,3 +202,180 @@ fn crash_recovered_store_publishes_identically_too() {
     assert_eq!(from_store, from_memory);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Incremental append fault injection (PR 6): a crash mid-republish must
+// leave the chunk store recoverable with either the complete old or the
+// complete new chunk set — never a mix of generations.
+// ---------------------------------------------------------------------------
+
+mod append_fault_injection {
+    use super::*;
+    use disassoc_store::ChunkDir;
+    use disassociation::pipeline::{BatchOutput, ChunkSink, DatasetSource};
+    use disassociation::{DisassociationConfig, IncrementalPipeline, SinkError};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Passes batches through to a real `ChunkDir` but panics after the
+    /// first `accept` — simulating a process crash while the republish has
+    /// staged some, but not all, of the dirty batches and has not yet
+    /// committed the manifest.
+    struct PanicAfterFirstAccept<'a> {
+        inner: &'a mut ChunkDir,
+        accepted: usize,
+    }
+
+    impl ChunkSink for PanicAfterFirstAccept<'_> {
+        fn accept(&mut self, batch: BatchOutput) -> Result<(), SinkError> {
+            if self.accepted >= 1 {
+                panic!("injected crash mid-republish");
+            }
+            self.accepted += 1;
+            self.inner.accept(batch)
+        }
+
+        fn finish(&mut self) -> Result<(), SinkError> {
+            self.inner.finish()
+        }
+    }
+
+    fn incremental_config() -> DisassociationConfig {
+        DisassociationConfig {
+            k: 3,
+            m: 2,
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    fn manifest_snapshot(chunks: &ChunkDir) -> Vec<(usize, String, u64)> {
+        chunks
+            .manifest()
+            .batches
+            .iter()
+            .map(|e| (e.batch_index, e.file.clone(), e.generation))
+            .collect()
+    }
+
+    #[test]
+    fn crash_mid_republish_leaves_old_or_new_chunks_never_a_mix() {
+        let dir = tmpdir("append_fault");
+        let records = workload().records().to_vec();
+        let (base, delta) = records.split_at(240);
+
+        // Base publication: build the pipeline in small batches and commit
+        // every chunk.
+        let mut pipeline = {
+            let mut source = DatasetSource::from_records(base, 48);
+            IncrementalPipeline::build(incremental_config(), &mut source).unwrap()
+        };
+        assert!(pipeline.batch_count() >= 2, "need multiple chunk files");
+        let mut chunks = ChunkDir::open(dir.join("chunks")).unwrap();
+        pipeline.publish_all(&mut chunks).unwrap();
+        let committed = manifest_snapshot(&chunks);
+        let committed_dataset = chunks.combined_dataset().unwrap().unwrap();
+
+        // Append, then crash while republishing: more than one batch is
+        // dirty (publish_all was never re-run after a forced re-dirty), so
+        // the panic fires with a staged-but-uncommitted manifest.
+        pipeline.append(delta);
+        let crash = catch_unwind(AssertUnwindSafe(|| {
+            let mut faulty = PanicAfterFirstAccept {
+                inner: &mut chunks,
+                accepted: 0,
+            };
+            // Republishing everything guarantees >= 2 accepts, so the
+            // injected panic interrupts a genuinely partial publish.
+            pipeline.publish_all(&mut faulty).unwrap();
+        }));
+        assert!(crash.is_err(), "the injected panic must surface");
+
+        // Recovery: reopen the chunk dir as a fresh process would.  The
+        // staged file from the interrupted publish is an uncommitted
+        // orphan — the manifest still describes the complete OLD chunk
+        // set, and the published dataset is exactly the pre-crash one.
+        drop(chunks);
+        let reopened = ChunkDir::open(dir.join("chunks")).unwrap();
+        assert_eq!(manifest_snapshot(&reopened), committed);
+        assert_eq!(
+            reopened.combined_dataset().unwrap().unwrap(),
+            committed_dataset,
+            "a crashed republish must not change the visible publication"
+        );
+        // No stray batch files survive outside the manifest.
+        let manifest_files: std::collections::BTreeSet<String> = reopened
+            .manifest()
+            .batches
+            .iter()
+            .map(|e| e.file.clone())
+            .collect();
+        for entry in std::fs::read_dir(reopened.dir()).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            if name.starts_with("batch-") {
+                assert!(
+                    manifest_files.contains(&name),
+                    "orphan chunk file {name} survived recovery"
+                );
+            }
+        }
+
+        // Retrying the publish against the recovered dir lands the complete
+        // NEW chunk set atomically: every batch present, the appended
+        // records visible.
+        let mut recovered = reopened;
+        pipeline.publish_all(&mut recovered).unwrap();
+        assert_eq!(
+            recovered.manifest().batches.len(),
+            pipeline.batch_count(),
+            "the retried publish must commit every batch"
+        );
+        let republished = recovered.combined_dataset().unwrap().unwrap();
+        assert_eq!(republished.total_records(), records.len());
+        assert!(disassociation::verify::verify_structure(&republished).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_accepts_of_a_dirty_only_republish_is_recoverable_too() {
+        // Same property through the `publish_dirty` path the CLI uses, with
+        // the crash injected on the very first accept (nothing staged at
+        // all): the old set must survive untouched.
+        struct PanicImmediately;
+        impl ChunkSink for PanicImmediately {
+            fn accept(&mut self, _batch: BatchOutput) -> Result<(), SinkError> {
+                panic!("injected crash before any chunk was staged");
+            }
+        }
+
+        let dir = tmpdir("append_fault_dirty");
+        let records = workload().records().to_vec();
+        let (base, delta) = records.split_at(240);
+        let mut pipeline = {
+            let mut source = DatasetSource::from_records(base, 48);
+            IncrementalPipeline::build(incremental_config(), &mut source).unwrap()
+        };
+        let mut chunks = ChunkDir::open(dir.join("chunks")).unwrap();
+        pipeline.publish_all(&mut chunks).unwrap();
+        let committed = manifest_snapshot(&chunks);
+
+        pipeline.append(delta);
+        let dirty = pipeline.dirty_batches();
+        let crash = catch_unwind(AssertUnwindSafe(|| {
+            pipeline.publish_dirty(&mut PanicImmediately).unwrap();
+        }));
+        assert!(crash.is_err());
+
+        // The crash must not have cleared the dirty flags: the work is
+        // still owed, and a retry delivers it.
+        assert_eq!(pipeline.dirty_batches(), dirty);
+        drop(chunks);
+        let mut reopened = ChunkDir::open(dir.join("chunks")).unwrap();
+        assert_eq!(manifest_snapshot(&reopened), committed);
+        let republished = pipeline.publish_dirty(&mut reopened).unwrap();
+        assert_eq!(republished, dirty.len());
+        assert!(pipeline.dirty_batches().is_empty());
+        let dataset = reopened.combined_dataset().unwrap().unwrap();
+        assert_eq!(dataset.total_records(), records.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
