@@ -136,6 +136,36 @@ impl ExperimentReport {
     }
 }
 
+/// Builds a `counters` series from the delta between two obs metric
+/// snapshots: one point per counter whose value changed (zero-delta counters
+/// are elided so the BENCH JSON stays readable).  Embedding these next to
+/// the timing series lets the perf trajectory record *why* numbers moved —
+/// join accept rates, checker path mix, WAL/compaction activity — not just
+/// that they moved.
+pub fn counters_series(
+    before: &disassoc_obs::metrics::Snapshot,
+    after: &disassoc_obs::metrics::Snapshot,
+) -> Series {
+    let mut series = Series::new("counters");
+    for (name, value) in &after.counters {
+        let prior = before.counter(name).unwrap_or(0);
+        let delta = value.saturating_sub(prior);
+        if delta > 0 {
+            series.push(name, delta as f64);
+        }
+    }
+    series
+}
+
+/// Serializes bench sections that toggle the process-global obs metrics flag
+/// (the `cargo test` harness runs the bench smoke tests of several modules
+/// in parallel threads of one process).
+pub(crate) fn obs_toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Parses the common `--scale N` argument of the experiment binaries (the
 /// factor by which the paper's workload sizes are divided); `default` is used
 /// when the flag is absent.

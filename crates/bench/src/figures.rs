@@ -335,9 +335,9 @@ pub fn fig09a(scale: usize) -> ExperimentReport {
     for w in real_scaled(scale) {
         let output = anonymize(&w.dataset, PAPER_K, PAPER_M);
         time.push(&w.name, output.total_seconds());
-        horizontal.push(&w.name, output.phase_seconds[0]);
-        vertical.push(&w.name, output.phase_seconds[1]);
-        refining.push(&w.name, output.phase_seconds[2]);
+        horizontal.push(&w.name, output.phases.horpart);
+        vertical.push(&w.name, output.phases.verpart);
+        refining.push(&w.name, output.phases.refine);
     }
     report.add_series(time);
     report.add_series(horizontal);

@@ -22,7 +22,7 @@
 //!
 //! One [`Series`] per workload goes to `experiments/out/BENCH_scenarios.json`.
 
-use crate::experiment::{ExperimentReport, Series};
+use crate::experiment::{counters_series, ExperimentReport, Series};
 use datagen::Scenario;
 use disassoc_store::{ChunkDir, Store, StoreConfig};
 use disassociation::pipeline::{CollectSink, Pipeline};
@@ -51,9 +51,20 @@ pub fn bench_scenarios(scale: usize) -> ExperimentReport {
         &format!("k={K}, m={M}, 95/5 base/append split, one series per workload"),
         scale,
     );
+    // Run the matrix with obs metrics enabled and embed the counter deltas
+    // (join accept rates, checker path mix, WAL/compaction/republish
+    // activity) next to the timing series, so the trajectory records *why*
+    // a scenario's numbers moved.  The guard serializes the global toggle
+    // against other bench modules under the parallel test harness.
+    let _obs_guard = crate::experiment::obs_toggle_lock();
+    let before = disassoc_obs::metrics::snapshot();
+    disassoc_obs::metrics::enable();
     for scenario in Scenario::ALL {
         report.add_series(run_scenario(scenario, scale));
     }
+    disassoc_obs::metrics::disable();
+    let after = disassoc_obs::metrics::snapshot();
+    report.add_series(counters_series(&before, &after));
     report
 }
 
@@ -193,9 +204,18 @@ mod tests {
         let report = bench_scenarios(500);
         assert_eq!(report.id, "BENCH_scenarios");
         let names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
-        let expected: Vec<&str> = Scenario::ALL.iter().map(Scenario::name).collect();
+        let mut expected: Vec<&str> = Scenario::ALL.iter().map(Scenario::name).collect();
+        expected.push("counters");
         assert_eq!(names, expected);
-        for series in &report.series {
+        let counters = report.series.last().expect("counters series");
+        assert!(
+            counters
+                .points
+                .iter()
+                .any(|(x, y)| x == "core.join_attempts" && *y > 0.0),
+            "counters series should record join attempts"
+        );
+        for series in report.series.iter().filter(|s| s.name != "counters") {
             for point in [
                 "full_memory_s",
                 "incremental_memory_s",

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use datagen::{QuestConfig, QuestGenerator, RealDataset};
+use disassoc_obs::trace::Attr;
 use disassoc_store::{ChunkDir, Store, StoreConfig};
 use disassociation::pipeline::{
     ChunkSink, CollectSink, DatasetSource, JsonChunksSink, Pipeline, ReaderSource, RecordSource,
@@ -86,6 +87,8 @@ pub enum Command {
         threads: usize,
         /// Output prefix (writes `<prefix>.chunks.json`).
         out_prefix: PathBuf,
+        /// Observability: metrics snapshot / trace / profile summary.
+        obs: ObsOptions,
     },
     /// Incrementally append new records to an already-ingested store,
     /// re-anonymizing only the clusters they land in.
@@ -110,6 +113,8 @@ pub enum Command {
         publish: Option<PathBuf>,
         /// Also write the combined publication as `<prefix>.chunks.json`.
         out_prefix: Option<PathBuf>,
+        /// Observability: metrics snapshot / trace / profile summary.
+        obs: ObsOptions,
     },
     /// Stream a transaction file into a persistent record store.
     Ingest {
@@ -123,6 +128,8 @@ pub enum Command {
         memtable: usize,
         /// Run a compaction pass after ingesting.
         compact: bool,
+        /// Observability: metrics snapshot / trace / profile summary.
+        obs: ObsOptions,
     },
     /// Print the state of a persistent record store.
     StoreInfo {
@@ -157,6 +164,90 @@ pub enum Command {
     },
     /// Print usage information.
     Help,
+}
+
+/// The shared observability flags of `anonymize`/`append`/`ingest`:
+/// `--metrics-out FILE` (JSON counter snapshot), `--trace FILE` (JSONL
+/// span/event trace) and `--profile` (human-readable summary on stdout).
+/// All default to off, leaving the instrumented code on its single-branch
+/// disabled path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsOptions {
+    /// Write a JSON metrics snapshot here after the run.
+    pub metrics_out: Option<PathBuf>,
+    /// Stream a JSONL trace of spans/events here during the run.
+    pub trace: Option<PathBuf>,
+    /// Print a human-readable counter summary after the run.
+    pub profile: bool,
+}
+
+impl ObsOptions {
+    fn from_flags(flags: &BTreeMap<String, String>) -> ObsOptions {
+        ObsOptions {
+            metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            trace: flags.get("trace").map(PathBuf::from),
+            profile: flags.contains_key("profile"),
+        }
+    }
+
+    /// Whether any observability output was requested.
+    pub fn is_active(&self) -> bool {
+        self.metrics_out.is_some() || self.trace.is_some() || self.profile
+    }
+
+    /// Starts collection: resets the counters, enables the metrics registry
+    /// and opens the trace sink.  A no-op session when no flag was given.
+    fn start(&self) -> Result<ObsSession, CliError> {
+        if !self.is_active() {
+            return Ok(ObsSession { options: None });
+        }
+        if let Some(path) = &self.trace {
+            disassoc_obs::trace::init_file(path)?;
+        }
+        disassoc_obs::metrics::reset_all();
+        disassoc_obs::metrics::enable();
+        Ok(ObsSession {
+            options: Some(self.clone()),
+        })
+    }
+}
+
+/// An active observability collection window; [`ObsSession::finish`] writes
+/// the requested outputs and returns the registry to its disabled state.
+struct ObsSession {
+    options: Option<ObsOptions>,
+}
+
+impl ObsSession {
+    fn finish(self, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+        let Some(options) = self.options else {
+            return Ok(());
+        };
+        disassoc_obs::metrics::disable();
+        let snapshot = disassoc_obs::metrics::snapshot();
+        if options.trace.is_some() {
+            disassoc_obs::trace::shutdown()?;
+        }
+        if let Some(path) = &options.metrics_out {
+            std::fs::write(path, snapshot.to_json())?;
+            writeln!(out, "metrics snapshot: {}", path.display())?;
+        }
+        if let Some(path) = &options.trace {
+            writeln!(out, "trace: {}", path.display())?;
+        }
+        if options.profile {
+            write!(out, "{}", snapshot.render_summary())?;
+        }
+        Ok(())
+    }
+
+    /// Tears collection down on an error path without writing any outputs.
+    fn abort(self) {
+        if self.options.is_some() {
+            disassoc_obs::metrics::disable();
+            disassoc_obs::trace::shutdown().ok();
+        }
+    }
 }
 
 /// A CLI failure, split by who must act: [`CliError::Usage`] /
@@ -277,14 +368,15 @@ USAGE:
                       [--avg-len F] [--scale N] [--seed N] --out FILE
   disassoc stats      --input FILE
   disassoc ingest     --input FILE --store DIR [--batch-size N]
-                      [--memtable N] [--compact]
+                      [--memtable N] [--compact] [OBS FLAGS]
   disassoc append     --input FILE --store DIR --k K --m M [--batch-size N]
                       [--max-cluster-size N] [--no-refine]
                       [--max-dirty-frac F] [--publish DIR] [--out-prefix PREFIX]
+                      [OBS FLAGS]
   disassoc store-info --store DIR
   disassoc anonymize  (--input FILE | --store DIR) --k K --m M
                       [--batch-size N] [--max-cluster-size N] [--threads N]
-                      [--no-refine] --out-prefix PREFIX
+                      [--no-refine] --out-prefix PREFIX [OBS FLAGS]
   disassoc reconstruct --chunks FILE.chunks.json --out FILE [--samples N] [--seed N]
   disassoc evaluate   (--input FILE | --store DIR) --k K --m M
                       [--batch-size N] [--threads N]
@@ -303,6 +395,14 @@ split criteria), re-runs VERPART/REFINE only on the clusters they land in
 with --publish rewrites only the chunk files of dirty batches — committed by
 one atomic manifest replace, so a crash leaves the old or the new chunk set,
 never a mix.
+
+OBS FLAGS — observability, off by default (zero-cost disabled path):
+  --metrics-out FILE   write a JSON snapshot of every counter after the run
+  --trace FILE         stream a JSONL trace of spans/events during the run
+  --profile            print a human-readable counter summary on stdout
+Collection never changes the published output — chunk files are
+byte-identical with and without the flags.  `store-info` always lists the
+store-side counters (zero in a fresh process).
 
 Exit status: 2 for usage errors (bad flags or privacy parameters), 1 for
 runtime failures (I/O, corrupt store, failed pipeline) — printed with their
@@ -365,6 +465,7 @@ impl Command {
                     no_refine: flags.contains_key("no-refine"),
                     threads: parse_usize("threads", &get("threads").unwrap_or_else(|| "1".into()))?,
                     out_prefix: PathBuf::from(req("out-prefix")?),
+                    obs: ObsOptions::from_flags(&flags),
                 })
             }
             "append" => Ok(Command::Append {
@@ -387,6 +488,7 @@ impl Command {
                     .map_err(|_| CliError::Usage("--max-dirty-frac expects a number".into()))?,
                 publish: get("publish").map(PathBuf::from),
                 out_prefix: get("out-prefix").map(PathBuf::from),
+                obs: ObsOptions::from_flags(&flags),
             }),
             "ingest" => Ok(Command::Ingest {
                 input: PathBuf::from(req("input")?),
@@ -400,6 +502,7 @@ impl Command {
                     &get("memtable").unwrap_or_else(|| "8192".into()),
                 )?,
                 compact: flags.contains_key("compact"),
+                obs: ObsOptions::from_flags(&flags),
             }),
             "store-info" => Ok(Command::StoreInfo {
                 store: PathBuf::from(req("store")?),
@@ -497,6 +600,7 @@ impl Command {
                 no_refine,
                 threads,
                 out_prefix,
+                obs,
             } => {
                 let config = DisassociationConfig {
                     k: *k,
@@ -506,6 +610,7 @@ impl Command {
                     ..Default::default()
                 };
                 config.validate()?;
+                let session = obs.start()?;
                 let chunks_path = out_prefix.with_extension("chunks.json");
                 // The chunk file is streamed batch by batch: together with
                 // the chunked sources this bounds BOTH original-record and
@@ -528,6 +633,7 @@ impl Command {
                     Ok(summary) => summary,
                     Err(e) => {
                         std::fs::remove_file(&partial_path).ok();
+                        session.abort();
                         return Err(e);
                     }
                 };
@@ -543,14 +649,18 @@ impl Command {
                     stats.total_seconds()
                 )?;
                 if !stats.refine_converged {
-                    writeln!(
-                        out,
-                        "warning: refining hit its pass limit after {} passes without converging; \
-                         the publication is valid but further joint clusters may have been possible",
-                        stats.refine_passes
-                    )?;
+                    disassoc_obs::warn(
+                        "refine.pass_cap",
+                        &format!(
+                            "refining hit its pass limit after {} passes without converging; \
+                             the publication is valid but further joint clusters may have been possible",
+                            stats.refine_passes
+                        ),
+                        &[("passes", Attr::U64(stats.refine_passes as u64))],
+                    );
                 }
                 writeln!(out, "published chunks: {}", chunks_path.display())?;
+                session.finish(out)?;
                 Ok(())
             }
             Command::Append {
@@ -564,6 +674,7 @@ impl Command {
                 max_dirty_fraction,
                 publish,
                 out_prefix,
+                obs,
             } => {
                 let config = DisassociationConfig {
                     k: *k,
@@ -573,6 +684,7 @@ impl Command {
                     ..Default::default()
                 };
                 config.validate()?;
+                let session = obs.start()?;
                 let t0 = std::time::Instant::now();
                 let mut st = open_existing_store(store)?;
                 let size = if *batch_size == 0 {
@@ -647,11 +759,13 @@ impl Command {
                     })();
                     if let Err(e) = result {
                         std::fs::remove_file(&partial_path).ok();
+                        session.abort();
                         return Err(e);
                     }
                     std::fs::rename(&partial_path, &chunks_path)?;
                     writeln!(out, "published chunks: {}", chunks_path.display())?;
                 }
+                session.finish(out)?;
                 Ok(())
             }
             Command::Ingest {
@@ -660,7 +774,9 @@ impl Command {
                 batch_size,
                 memtable,
                 compact,
+                obs,
             } => {
+                let session = obs.start()?;
                 let t0 = std::time::Instant::now();
                 let mut st = Store::open(
                     store,
@@ -670,11 +786,14 @@ impl Command {
                     },
                 )?;
                 if st.recovered_records() > 0 {
-                    writeln!(
-                        out,
-                        "recovered {} unsealed records from the write-ahead log",
-                        st.recovered_records()
-                    )?;
+                    disassoc_obs::warn(
+                        "store.wal_recovery",
+                        &format!(
+                            "recovered {} unsealed records from the write-ahead log",
+                            st.recovered_records()
+                        ),
+                        &[("records", Attr::U64(st.recovered_records()))],
+                    );
                 }
                 let before = st.len();
                 let mut reader = ReaderSource::open(input, (*batch_size).max(1))?;
@@ -702,6 +821,7 @@ impl Command {
                         stats.amplification()
                     )?;
                 }
+                session.finish(out)?;
                 Ok(())
             }
             Command::StoreInfo { store } => {
@@ -732,6 +852,15 @@ impl Command {
                         "  segment {:>6}  {:>10} records  {:>12} bytes  {}",
                         entry.id, entry.records, entry.bytes, meta.terms.term_occurrences
                     )?;
+                }
+                // The store-side obs counters: all zero in a fresh process
+                // (collection is off by default), populated when an earlier
+                // command in this process ran with an obs flag.
+                writeln!(out, "obs counters (process-wide):")?;
+                for counter in disassoc_obs::metrics::counters::ALL {
+                    if counter.name().starts_with("store.") {
+                        writeln!(out, "  {:<32} {}", counter.name(), counter.get())?;
+                    }
                 }
                 Ok(())
             }
@@ -892,7 +1021,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(CliError::Usage(format!("unexpected argument {arg:?}")));
         };
-        let is_boolean = name == "no-refine" || name == "compact";
+        let is_boolean = name == "no-refine" || name == "compact" || name == "profile";
         if is_boolean {
             flags.insert(name.to_owned(), "true".to_owned());
             i += 1;
@@ -1212,6 +1341,101 @@ mod tests {
         let text = String::from_utf8(sink).unwrap();
         assert!(text.contains("appended 20 records"), "{text}");
         assert!(text.contains("republished"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_obs_flags() {
+        let cmd = Command::parse(&args(
+            "anonymize --input d.dat --k 5 --m 2 --out-prefix pub \
+             --metrics-out m.json --trace t.jsonl --profile",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Anonymize { obs, .. } => {
+                assert_eq!(obs.metrics_out, Some(PathBuf::from("m.json")));
+                assert_eq!(obs.trace, Some(PathBuf::from("t.jsonl")));
+                assert!(obs.profile);
+                assert!(obs.is_active());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: everything off, session is a no-op.
+        match Command::parse(&args(
+            "anonymize --input d.dat --k 5 --m 2 --out-prefix pub",
+        ))
+        .unwrap()
+        {
+            Command::Anonymize { obs, .. } => assert!(!obs.is_active()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Command::parse(&args("ingest --input d.dat --store /tmp/s --profile")).unwrap() {
+            Command::Ingest { obs, .. } => assert!(obs.profile && obs.metrics_out.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_flags_do_not_change_the_publication() {
+        let dir =
+            std::env::temp_dir().join(format!("disassoc_cli_obs_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.dat");
+        let mut sink = Vec::new();
+        Command::parse(&args(&format!(
+            "generate --kind quest --records 300 --domain 80 --out {}",
+            data.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+
+        // Plain run, then a run with every obs flag on.
+        let plain = dir.join("plain");
+        Command::parse(&args(&format!(
+            "anonymize --input {} --k 3 --m 2 --out-prefix {}",
+            data.display(),
+            plain.display()
+        )))
+        .unwrap()
+        .run(&mut sink)
+        .unwrap();
+        let observed = dir.join("observed");
+        let metrics_path = dir.join("m.json");
+        let trace_path = dir.join("t.jsonl");
+        let mut obs_out = Vec::new();
+        Command::parse(&args(&format!(
+            "anonymize --input {} --k 3 --m 2 --out-prefix {} \
+             --metrics-out {} --trace {} --profile",
+            data.display(),
+            observed.display(),
+            metrics_path.display(),
+            trace_path.display()
+        )))
+        .unwrap()
+        .run(&mut obs_out)
+        .unwrap();
+
+        // Identical publication bytes; parseable metrics; nonempty JSONL trace.
+        assert_eq!(
+            std::fs::read(plain.with_extension("chunks.json")).unwrap(),
+            std::fs::read(observed.with_extension("chunks.json")).unwrap(),
+            "obs flags must not change the published chunks"
+        );
+        let metrics: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let counters = metrics.get("counters").expect("counters object");
+        assert!(counters.get("core.anonymize_runs").is_some());
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(!trace_text.trim().is_empty(), "trace should record events");
+        for line in trace_text.lines() {
+            let parsed: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+            assert!(parsed.get("ts_us").is_some() && parsed.get("name").is_some());
+        }
+        let text = String::from_utf8(obs_out).unwrap();
+        assert!(text.contains("metrics snapshot:"), "{text}");
+        assert!(text.contains("core.anonymize_runs"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

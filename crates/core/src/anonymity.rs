@@ -31,6 +31,7 @@
 //! Both implementations answer every query identically — the engine changes
 //! speed, not results (pinned by the output-bytes regression tests).
 
+use disassoc_obs::metrics::counters as obs_counters;
 use std::collections::HashMap;
 use transact::dense::{
     bits_contain, bits_for_each, bits_for_each_and, bits_set, for_each_packed_subset,
@@ -236,7 +237,10 @@ impl<'a> IncrementalChecker<'a> {
         }
         match &mut self.inner {
             Inner::Dense(d) => d.can_add(t),
-            Inner::Reference(r) => r.can_add(t),
+            Inner::Reference(r) => {
+                obs_counters::CORE_CHECKER_TRIALS_FALLBACK.inc();
+                r.can_add(t)
+            }
         }
     }
 
@@ -525,11 +529,15 @@ impl DenseChecker {
             // {t, u} for current-domain terms u.  Their counts are the plain
             // pair co-occurrences — independent of the current domain — so
             // the triangle answers each in O(1), earliest exit wins.
-            Some(PairCounts::Triangle(tri)) => self.current_dense.iter().all(|&u| {
-                let c = tri[tri_index(dt.min(u), dt.max(u))];
-                c == 0 || c as usize >= self.k
-            }),
+            Some(PairCounts::Triangle(tri)) => {
+                obs_counters::CORE_CHECKER_TRIALS_M2_TRIANGLE.inc();
+                self.current_dense.iter().all(|&u| {
+                    let c = tri[tri_index(dt.min(u), dt.max(u))];
+                    c == 0 || c as usize >= self.k
+                })
+            }
             Some(PairCounts::Sparse { scratch, touched }) => {
+                obs_counters::CORE_CHECKER_TRIALS_M2_SPARSE.inc();
                 touched.clear();
                 for &i in rows_with_t {
                     let i = i as usize;
@@ -554,6 +562,7 @@ impl DenseChecker {
             // packed keys (S ascending, t in the last lane — canonical for a
             // fixed t).  The map is cleared, never reallocated.
             None => {
+                obs_counters::CORE_CHECKER_TRIALS_PACKED.inc();
                 let (k, m) = (self.k, self.m);
                 self.counts.clear();
                 for &i in rows_with_t {

@@ -46,7 +46,9 @@ use crate::model::{ClusterNode, DisassociatedDataset};
 use crate::pipeline::{BatchOutput, ChunkSink, RecordSource};
 use crate::refine::{refine, RefineOptions, WorkCluster, WorkNode};
 use crate::verpart::VerPartOptions;
-use crate::{DisassociationConfig, DisassociationOutput, Disassociator};
+use crate::{DisassociationConfig, DisassociationOutput, Disassociator, PhaseTimings};
+use disassoc_obs::metrics::counters as obs_counters;
+use disassoc_obs::trace::{self as obs_trace, Attr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -162,7 +164,7 @@ pub struct IncrementalRun {
     nodes: Vec<NodeSlot>,
     next_verpart_index: usize,
     generation: u64,
-    phase_seconds: [f64; 3],
+    phases: PhaseTimings,
     refine_passes: usize,
     refine_converged: bool,
 }
@@ -269,11 +271,11 @@ impl IncrementalRun {
             nodes: node_slots,
             next_verpart_index,
             generation: 0,
-            phase_seconds: [
-                (t1 - t0).as_secs_f64(),
-                (t2 - t1).as_secs_f64(),
-                (t3 - t2).as_secs_f64(),
-            ],
+            phases: PhaseTimings {
+                horpart: (t1 - t0).as_secs_f64(),
+                verpart: (t2 - t1).as_secs_f64(),
+                refine: (t3 - t2).as_secs_f64(),
+            },
             refine_passes,
             refine_converged,
         }
@@ -304,6 +306,11 @@ impl IncrementalRun {
         self.generation
     }
 
+    /// Cumulative per-phase timings across the base run and all appends.
+    pub fn phases(&self) -> PhaseTimings {
+        self.phases
+    }
+
     /// Per published node: the append generation that last wrote it
     /// (0 = unchanged since the base run).  The clean-chunk invariant is
     /// directly observable here: a node whose generation did not change has
@@ -329,7 +336,7 @@ impl IncrementalRun {
         DisassociationOutput {
             dataset: self.published_dataset(),
             cluster_assignment: self.assignment(),
-            phase_seconds: self.phase_seconds,
+            phases: self.phases,
             refine_passes: self.refine_passes,
             refine_converged: self.refine_converged,
         }
@@ -377,6 +384,7 @@ impl IncrementalRun {
             return AppendOutcome::reuse_all(total_before);
         }
         self.generation += 1;
+        obs_counters::INCR_APPENDS.inc();
         let cfg = self.disassociator.config().clone();
         let budget = ((options.max_dirty_fraction.clamp(0.0, 1.0) * total_before as f64).floor()
             as usize)
@@ -398,6 +406,7 @@ impl IncrementalRun {
             match self.tree.route(record) {
                 None => overflow.push(global),
                 Some((slot, _)) => {
+                    obs_counters::INCR_ROUTED_RECORDS.inc();
                     let node = slot_to_node[slot];
                     if dirty_nodes.contains(&node) {
                         absorbed.entry(slot).or_default().push(global);
@@ -408,6 +417,7 @@ impl IncrementalRun {
                             dirty_members += cost;
                             absorbed.entry(slot).or_default().push(global);
                         } else {
+                            obs_counters::INCR_BUDGET_OVERFLOWS.inc();
                             overflow.push(global);
                         }
                     }
@@ -538,17 +548,34 @@ impl IncrementalRun {
             republished += 1;
         }
 
-        self.phase_seconds[0] += (t1 - t0).as_secs_f64();
-        self.phase_seconds[1] += (t2 - t1).as_secs_f64();
-        self.phase_seconds[2] += (t3 - t2).as_secs_f64();
-        AppendOutcome {
+        self.phases.accumulate(PhaseTimings {
+            horpart: (t1 - t0).as_secs_f64(),
+            verpart: (t2 - t1).as_secs_f64(),
+            refine: (t3 - t2).as_secs_f64(),
+        });
+        obs_counters::INCR_DIRTY_CLUSTERS.add(dirty_count as u64);
+        let outcome = AppendOutcome {
             appended_records: new_records.len(),
             dirty_clusters: dirty_count,
             reused_clusters: total_before - dirty_count,
             new_clusters,
             republished_chunks: republished,
             total_clusters: self.slots.len(),
+        };
+        if obs_trace::enabled() {
+            obs_trace::event(
+                "incr.append",
+                &[
+                    ("generation", Attr::U64(self.generation)),
+                    ("appended", Attr::U64(outcome.appended_records as u64)),
+                    ("dirty", Attr::U64(outcome.dirty_clusters as u64)),
+                    ("reused", Attr::U64(outcome.reused_clusters as u64)),
+                    ("new", Attr::U64(outcome.new_clusters as u64)),
+                    ("republished", Attr::U64(outcome.republished_chunks as u64)),
+                ],
+            );
         }
+        outcome
     }
 
     fn new_slot(&mut self) -> usize {
@@ -774,7 +801,7 @@ impl IncrementalPipeline {
         let offsets = self.record_offsets();
         let mut clusters = Vec::new();
         let mut assignment = Vec::new();
-        let mut phase_seconds = [0.0f64; 3];
+        let mut phases = PhaseTimings::default();
         let mut refine_passes = 0usize;
         let mut refine_converged = true;
         for (i, run) in self.batches.iter().enumerate() {
@@ -786,9 +813,7 @@ impl IncrementalPipeline {
                     .into_iter()
                     .map(|idxs| idxs.into_iter().map(|r| r + offsets[i]).collect()),
             );
-            for (acc, phase) in phase_seconds.iter_mut().zip(output.phase_seconds) {
-                *acc += phase;
-            }
+            phases.accumulate(output.phases);
             refine_passes = refine_passes.max(output.refine_passes);
             refine_converged &= output.refine_converged;
         }
@@ -799,7 +824,7 @@ impl IncrementalPipeline {
                 clusters,
             },
             cluster_assignment: assignment,
-            phase_seconds,
+            phases,
             refine_passes,
             refine_converged,
         }

@@ -72,10 +72,13 @@ pub use model::{
 pub use pipeline::{BatchOutput, ChunkSink, Pipeline, RecordSource, RunSummary};
 pub use reconstruct::{reconstruct, reconstruct_many};
 
+use disassoc_obs::metrics::counters as obs_counters;
+use disassoc_obs::trace::{self as obs_trace, Attr};
 use horpart::horizontal_partition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use refine::{refine, RefineOptions, WorkCluster, WorkNode};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use transact::{Dataset, TermId};
 use verpart::VerPartOptions;
@@ -151,6 +154,33 @@ impl DisassociationConfig {
     }
 }
 
+/// Wall-clock duration of the pipeline's three phases, in seconds, with a
+/// named field per phase so serialized forms are self-describing (replaces a
+/// positional `[f64; 3]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Horizontal partitioning (clustering + small-cluster merging).
+    pub horpart: f64,
+    /// Vertical partitioning (record/term chunk construction).
+    pub verpart: f64,
+    /// Refining (joint clusters / shared chunks), zero when disabled.
+    pub refine: f64,
+}
+
+impl PhaseTimings {
+    /// Sum of the three phases.
+    pub fn total(&self) -> f64 {
+        self.horpart + self.verpart + self.refine
+    }
+
+    /// Adds another timing set phase-by-phase (batch accumulation).
+    pub fn accumulate(&mut self, other: PhaseTimings) {
+        self.horpart += other.horpart;
+        self.verpart += other.verpart;
+        self.refine += other.refine;
+    }
+}
+
 /// The result of a disassociation run.
 #[derive(Debug, Clone)]
 pub struct DisassociationOutput {
@@ -162,9 +192,8 @@ pub struct DisassociationOutput {
     /// publication — it exists so that tests, audits and information-loss
     /// metrics can relate the published form back to the original data.
     pub cluster_assignment: Vec<Vec<usize>>,
-    /// Wall-clock duration of the three phases, in seconds
-    /// (horizontal, vertical, refine).
-    pub phase_seconds: [f64; 3],
+    /// Wall-clock duration of the three phases, in seconds.
+    pub phases: PhaseTimings,
     /// Number of refining passes executed (0 when refining was disabled or
     /// the forest had fewer than two clusters).
     pub refine_passes: usize,
@@ -177,7 +206,7 @@ pub struct DisassociationOutput {
 impl DisassociationOutput {
     /// Total anonymization time in seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.phase_seconds.iter().sum()
+        self.phases.total()
     }
 }
 
@@ -241,6 +270,8 @@ impl Disassociator {
         );
         horpart::merge_small_clusters(&mut partition, cfg.k);
         let t1 = std::time::Instant::now();
+        obs_counters::CORE_ANONYMIZE_RUNS.inc();
+        obs_counters::CORE_HORPART_CLUSTERS.add(partition.len() as u64);
 
         // Move every record into its cluster (the clusters partition the
         // record indices, so each slot is taken exactly once).
@@ -293,6 +324,10 @@ impl Disassociator {
             refine_converged = outcome.converged;
         }
         let t3 = std::time::Instant::now();
+        obs_counters::CORE_REFINE_PASSES.add(refine_passes as u64);
+        if !refine_converged {
+            obs_counters::CORE_REFINE_CAPPED.inc();
+        }
 
         // Assemble the published dataset and the assignment bookkeeping.
         let mut cluster_assignment = Vec::new();
@@ -306,14 +341,28 @@ impl Disassociator {
             m: cfg.m,
             clusters: nodes.into_iter().map(WorkNode::into_cluster_node).collect(),
         };
+        let phases = PhaseTimings {
+            horpart: (t1 - t0).as_secs_f64(),
+            verpart: (t2 - t1).as_secs_f64(),
+            refine: (t3 - t2).as_secs_f64(),
+        };
+        if obs_trace::enabled() {
+            obs_trace::event(
+                "core.anonymize",
+                &[
+                    ("records", Attr::U64(dataset.total_records() as u64)),
+                    ("clusters", Attr::U64(cluster_assignment.len() as u64)),
+                    ("refine_passes", Attr::U64(refine_passes as u64)),
+                    ("horpart_s", Attr::F64(phases.horpart)),
+                    ("verpart_s", Attr::F64(phases.verpart)),
+                    ("refine_s", Attr::F64(phases.refine)),
+                ],
+            );
+        }
         DisassociationOutput {
             dataset,
             cluster_assignment,
-            phase_seconds: [
-                (t1 - t0).as_secs_f64(),
-                (t2 - t1).as_secs_f64(),
-                (t3 - t2).as_secs_f64(),
-            ],
+            phases,
             refine_passes,
             refine_converged,
         }

@@ -53,7 +53,11 @@
 
 use crate::error::{Error, SinkError, SourceError};
 use crate::model::ClusterNode;
-use crate::{DisassociatedDataset, DisassociationConfig, DisassociationOutput, Disassociator};
+use crate::{
+    DisassociatedDataset, DisassociationConfig, DisassociationOutput, Disassociator, PhaseTimings,
+};
+use disassoc_obs::metrics::{gauges as obs_gauges, histograms as obs_histograms};
+use disassoc_obs::trace::{self as obs_trace, Attr};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::{mpsc, Arc};
@@ -319,7 +323,7 @@ pub struct CollectSink {
     m: usize,
     clusters: Vec<ClusterNode>,
     cluster_assignment: Vec<Vec<usize>>,
-    phase_seconds: [f64; 3],
+    phases: PhaseTimings,
     refine_passes: usize,
     refine_converged: bool,
 }
@@ -332,7 +336,7 @@ impl CollectSink {
             m,
             clusters: Vec::new(),
             cluster_assignment: Vec::new(),
-            phase_seconds: [0.0; 3],
+            phases: PhaseTimings::default(),
             refine_passes: 0,
             refine_converged: true,
         }
@@ -354,7 +358,7 @@ impl CollectSink {
                 clusters: self.clusters,
             },
             cluster_assignment: self.cluster_assignment,
-            phase_seconds: self.phase_seconds,
+            phases: self.phases,
             refine_passes: self.refine_passes,
             refine_converged: self.refine_converged,
         }
@@ -372,9 +376,7 @@ impl ChunkSink for CollectSink {
                 .into_iter()
                 .map(|indices| indices.into_iter().map(|i| i + offset).collect()),
         );
-        for (total, phase) in self.phase_seconds.iter_mut().zip(output.phase_seconds) {
-            *total += phase;
-        }
+        self.phases.accumulate(output.phases);
         self.refine_passes = self.refine_passes.max(output.refine_passes);
         self.refine_converged &= output.refine_converged;
         Ok(())
@@ -413,8 +415,8 @@ pub struct ChunkFileStats {
     pub record_chunks: usize,
     /// Shared chunks written.
     pub shared_chunks: usize,
-    /// Summed phase seconds (horizontal, vertical, refine) across batches.
-    pub phase_seconds: [f64; 3],
+    /// Summed per-phase seconds across batches.
+    pub phases: PhaseTimings,
     /// Highest refining pass count any batch used.
     pub refine_passes: usize,
     /// Whether every batch's refining step converged before its pass limit.
@@ -428,7 +430,7 @@ impl Default for ChunkFileStats {
             simple_clusters: 0,
             record_chunks: 0,
             shared_chunks: 0,
-            phase_seconds: [0.0; 3],
+            phases: PhaseTimings::default(),
             refine_passes: 0,
             // An empty run trivially converged.
             refine_converged: true,
@@ -439,7 +441,7 @@ impl Default for ChunkFileStats {
 impl ChunkFileStats {
     /// Total anonymization time in seconds (sum over phases and batches).
     pub fn total_seconds(&self) -> f64 {
-        self.phase_seconds.iter().sum()
+        self.phases.total()
     }
 }
 
@@ -561,14 +563,7 @@ impl<W: Write> ChunkSink for JsonChunksSink<'_, W> {
         self.stats.simple_clusters += output.dataset.simple_clusters().len();
         self.stats.record_chunks += output.dataset.num_record_chunks();
         self.stats.shared_chunks += output.dataset.shared_chunks().len();
-        for (total, phase) in self
-            .stats
-            .phase_seconds
-            .iter_mut()
-            .zip(output.phase_seconds)
-        {
-            *total += phase;
-        }
+        self.stats.phases.accumulate(output.phases);
         self.stats.refine_passes = self.stats.refine_passes.max(output.refine_passes);
         self.stats.refine_converged &= output.refine_converged;
         for node in &output.dataset.clusters {
@@ -829,6 +824,19 @@ fn deliver(
     batch: BatchOutput,
     records: usize,
 ) -> Result<(), Error> {
+    let batch_seconds = batch.output.phases.total();
+    obs_gauges::CORE_LAST_BATCH_RECORDS.set(records as u64);
+    obs_histograms::CORE_BATCH_MICROS.record((batch_seconds * 1e6) as u64);
+    if obs_trace::enabled() {
+        obs_trace::event(
+            "pipeline.batch",
+            &[
+                ("batch", Attr::U64(batch.batch_index as u64)),
+                ("records", Attr::U64(records as u64)),
+                ("total_s", Attr::F64(batch_seconds)),
+            ],
+        );
+    }
     if let Some(sink) = sink.as_mut() {
         sink.accept(batch).map_err(Error::Sink)?;
     }

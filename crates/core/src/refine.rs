@@ -46,6 +46,7 @@
 
 use crate::anonymity::{is_k_anonymous, CheckerScratch, IncrementalChecker};
 use crate::model::{Cluster, ClusterNode, JointCluster, RecordChunk, SharedChunk};
+use disassoc_obs::metrics::counters as obs_counters;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -423,6 +424,7 @@ fn try_join<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut JoinScratch,
 ) -> JoinOutcome {
+    obs_counters::CORE_JOIN_ATTEMPTS.inc();
     let common: BTreeSet<TermId> = a
         .vtc
         .intersection(&b.vtc)
@@ -430,6 +432,7 @@ fn try_join<R: Rng + ?Sized>(
         .filter(|t| !options.excluded_terms.contains(t))
         .collect();
     if common.is_empty() {
+        obs_counters::CORE_JOINS_REJECTED.inc();
         return JoinOutcome::NotJoined(a, b);
     }
 
@@ -462,10 +465,14 @@ fn try_join<R: Rng + ?Sized>(
 
     // Equation 1, in exact arithmetic.
     if rhs_den == 0 {
+        obs_counters::CORE_JOINS_REJECTED.inc();
+        obs_counters::CORE_JOINS_REJECTED_EQ1.inc();
         return JoinOutcome::NotJoined(a, b);
     }
     let lhs_num: u64 = joint_support.values().sum();
     if !equation1_holds(lhs_num, joint_size as u64, rhs_num, rhs_den) {
+        obs_counters::CORE_JOINS_REJECTED.inc();
+        obs_counters::CORE_JOINS_REJECTED_EQ1.inc();
         return JoinOutcome::NotJoined(a, b);
     }
 
@@ -482,6 +489,7 @@ fn try_join<R: Rng + ?Sized>(
             .then_with(|| x.cmp(y))
     });
     if candidates.is_empty() {
+        obs_counters::CORE_JOINS_REJECTED.inc();
         return JoinOutcome::NotJoined(a, b);
     }
 
@@ -561,6 +569,7 @@ fn try_join<R: Rng + ?Sized>(
     checker.recycle(&mut scratch.checker);
     drop(simple_of_both);
     if shared.is_empty() {
+        obs_counters::CORE_JOINS_REJECTED.inc();
         return JoinOutcome::NotJoined(a, b);
     }
 
@@ -624,6 +633,7 @@ fn try_join<R: Rng + ?Sized>(
         rst.extend(placed.iter().copied());
         (vtc, rst)
     };
+    obs_counters::CORE_JOINS_ACCEPTED.inc();
     JoinOutcome::Joined(NodeState {
         node: joint,
         size: joint_size,

@@ -1,0 +1,95 @@
+//! Zero-dependency observability for the disassociation pipeline.
+//!
+//! Three layers, all hand-rolled on std so the crate builds offline and the
+//! *disabled* path stays out of profiles:
+//!
+//! - [`metrics`]: a process-global registry of named counters, gauges, and
+//!   histograms.  Every mutation is gated on one relaxed atomic load of a
+//!   shared enabled flag, so a disabled counter costs a single predictable
+//!   branch — cheap enough to leave in release builds of the hot loops.
+//! - [`trace`]: JSON-lines spans and events with monotonic microsecond
+//!   timestamps and small per-thread ids, written to a caller-installed sink.
+//!   Tracing is opt-in per process and entirely skipped when no sink is
+//!   installed.
+//! - [`warn`]: diagnostics that always reach stderr for humans and are
+//!   mirrored into the trace (when active) so machine consumers see them in
+//!   context, keeping stdout machine-parseable.
+//!
+//! The registry is static: instrumented crates reference counters from
+//! [`metrics::counters`] directly, and [`metrics::snapshot`] walks the full
+//! catalog, so a snapshot always lists every known counter (zeros included).
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+/// Emits a warning: always printed to stderr, and mirrored into the trace as
+/// a `warn` record (with the given attributes plus the message) when tracing
+/// is active.  `name` is a stable machine-readable identifier such as
+/// `refine.pass_cap`; `message` is the human-readable text.
+pub fn warn(name: &str, message: &str, attrs: &[(&str, trace::Attr<'_>)]) {
+    eprintln!("warning: {message}");
+    if trace::enabled() {
+        let mut full: Vec<(&str, trace::Attr<'_>)> = Vec::with_capacity(attrs.len() + 1);
+        full.push(("message", trace::Attr::Str(message)));
+        full.extend_from_slice(attrs);
+        trace::record("warn", name, None, &full);
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.  Metric names
+/// are plain ASCII identifiers, but trace attributes may carry arbitrary
+/// text (paths, messages), so escaping is always applied.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` the way the rest of the repo's hand-rolled JSON does:
+/// finite values via `{}` (shortest round-trip in Rust), non-finite mapped
+/// to `null` since JSON has no NaN/Infinity.
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        let s = format!("{value}");
+        // `{}` prints integral floats without a dot; keep them typed as
+        // floats so consumers round-trip the field stably.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn float_formatting_keeps_values_typed_and_json_legal() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -58,6 +58,7 @@ pub use scan::RecordBatchIter;
 pub use segment::{SegmentMeta, TermSummary};
 pub use source::StoreSource;
 
+use disassoc_obs::metrics::counters as obs_counters;
 use manifest::MANIFEST_FILE;
 use segment::{read_footer, SegmentWriter};
 use std::fs::File;
@@ -350,6 +351,7 @@ impl Store {
         self.manifest = successor;
         self.memtable.clear();
         self.wal.truncate()?;
+        obs_counters::STORE_MEMTABLE_SPILLS.inc();
         Ok(())
     }
 
@@ -365,6 +367,10 @@ impl Store {
     pub fn compact(&mut self) -> Result<CompactionStats> {
         let (stats, replaced, successor) =
             compact::compact_pass(&self.dir, &self.manifest, &self.config)?;
+        obs_counters::STORE_COMPACTION_RUNS.inc();
+        obs_counters::STORE_COMPACTION_MERGES.add(stats.merges as u64);
+        obs_counters::STORE_COMPACTION_BYTES_READ.add(stats.bytes_read);
+        obs_counters::STORE_COMPACTION_BYTES_WRITTEN.add(stats.bytes_written);
         if stats.merges > 0 {
             // Commit first, adopt second: an error anywhere leaves the
             // in-memory state agreeing with the on-disk state (merge outputs

@@ -21,6 +21,7 @@
 //! file system.
 
 use crate::{Result, StoreError};
+use disassoc_obs::metrics::counters as obs_counters;
 use disassociation::model::DisassociatedDataset;
 use disassociation::{BatchOutput, ChunkSink, SinkError};
 use serde::{Deserialize, Serialize};
@@ -248,6 +249,7 @@ impl ChunkDir {
         {
             if let Ok(existing) = std::fs::read(self.dir.join(&committed.file)) {
                 if existing == bytes {
+                    obs_counters::STORE_CHUNKS_SKIPPED.inc();
                     self.staged.retain(|s| s.batch_index != batch.batch_index);
                     return Ok(());
                 }
@@ -256,6 +258,7 @@ impl ChunkDir {
         let path = self.dir.join(&file);
         std::fs::write(&path, &bytes)?;
         File::open(&path)?.sync_all()?;
+        obs_counters::STORE_CHUNKS_STAGED.inc();
         self.staged.retain(|s| s.batch_index != batch.batch_index);
         self.staged.push(ChunkEntry {
             batch_index: batch.batch_index,
@@ -287,6 +290,7 @@ impl ChunkDir {
         next.batches.sort_by_key(|b| b.batch_index);
         next.store(&self.dir)?;
         self.manifest = next;
+        obs_counters::STORE_CHUNK_COMMITS.inc();
         // The old files are unreferenced as of the committed rename;
         // deleting them is best-effort cleanup, not part of the commit.
         for file in replaced {
@@ -364,7 +368,7 @@ mod tests {
                 })],
             },
             cluster_assignment: vec![vec![0, 1]],
-            phase_seconds: [0.0; 3],
+            phases: disassociation::PhaseTimings::default(),
             refine_passes: 0,
             refine_converged: true,
         }

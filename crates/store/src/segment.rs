@@ -195,6 +195,7 @@ impl SegmentWriter {
         inner.write_all(SEGMENT_TAIL)?;
         inner.flush()?;
         inner.get_ref().sync_all()?;
+        disassoc_obs::metrics::counters::STORE_SEGMENT_SEALS.inc();
         Ok(SegmentMeta {
             data_len,
             index_len,

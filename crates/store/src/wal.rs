@@ -26,6 +26,7 @@
 
 use crate::encode::{read_record, write_record, write_varint, Crc32};
 use crate::{Result, StoreError};
+use disassoc_obs::metrics::counters as obs_counters;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -107,6 +108,8 @@ impl Wal {
             return Err(e.into());
         }
         self.bytes += entry.len() as u64;
+        obs_counters::STORE_WAL_APPENDS.inc();
+        obs_counters::STORE_WAL_APPEND_BYTES.add(entry.len() as u64);
         Ok(())
     }
 

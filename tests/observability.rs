@@ -1,0 +1,176 @@
+//! Acceptance tests of the observability layer (`disassoc-obs`):
+//!
+//! 1. **Collection is inert** — running the anonymizer with metrics and
+//!    tracing enabled publishes the byte-identical dataset to a run with
+//!    everything off (instrumentation must never steer the algorithm).
+//! 2. **The counters balance** — every REFINE join attempt is accounted
+//!    for: `joins_accepted + joins_rejected == join_attempts`, and every
+//!    anonymity-check trial landed in exactly one checker-path counter.
+//! 3. **The counters agree with the API** — the incremental dirty-cluster
+//!    counter matches the `AppendOutcome` the caller saw, and the WAL
+//!    append counter matches the number of batches ingested.
+//!
+//! The registry is process-global, so every test takes a shared lock and
+//! starts from `reset_all()`.
+
+use datagen::{QuestConfig, QuestGenerator};
+use disassoc_obs::metrics::{self, counters};
+use disassoc_obs::trace;
+use disassoc_store::{Store, StoreConfig};
+use disassociation::{DisassociationConfig, Disassociator};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use transact::{Dataset, Record};
+
+/// Serializes tests that toggle/reset the process-global registry.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn quest(records: usize, seed: u64) -> Dataset {
+    QuestGenerator::generate_with(QuestConfig {
+        num_transactions: records,
+        domain_size: 400,
+        avg_transaction_len: 8.0,
+        seed,
+        ..QuestConfig::default()
+    })
+}
+
+fn config() -> DisassociationConfig {
+    DisassociationConfig {
+        k: 3,
+        m: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn collection_does_not_change_the_publication() {
+    let _guard = obs_lock();
+    let dataset = quest(2_000, 11);
+
+    metrics::disable();
+    let plain = Disassociator::new(config()).anonymize(&dataset);
+
+    // Full collection: metrics plus a live trace sink.
+    metrics::reset_all();
+    metrics::enable();
+    let trace_path = std::env::temp_dir().join(format!("obs_inert_{}.jsonl", std::process::id()));
+    trace::init_file(&trace_path).unwrap();
+    let observed = Disassociator::new(config()).anonymize(&dataset);
+    trace::shutdown().unwrap();
+    metrics::disable();
+
+    assert_eq!(
+        serde_json::to_vec(&plain.dataset).unwrap(),
+        serde_json::to_vec(&observed.dataset).unwrap(),
+        "metrics/tracing must be observationally inert"
+    );
+    // The trace recorded the run as JSONL.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.lines().count() > 0, "trace should hold events");
+    for line in text.lines() {
+        let value: serde_json::Value = serde_json::from_str(line).expect("every line is JSON");
+        assert!(value.get("ts_us").is_some());
+        assert!(value.get("kind").is_some());
+        assert!(value.get("name").is_some());
+    }
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn join_and_checker_counters_balance() {
+    let _guard = obs_lock();
+    let dataset = quest(2_000, 23);
+
+    metrics::reset_all();
+    metrics::enable();
+    let output = Disassociator::new(config()).anonymize(&dataset);
+    metrics::disable();
+    assert!(!output.dataset.clusters.is_empty());
+
+    let attempts = counters::CORE_JOIN_ATTEMPTS.get();
+    let accepted = counters::CORE_JOINS_ACCEPTED.get();
+    let rejected = counters::CORE_JOINS_REJECTED.get();
+    assert!(attempts > 0, "REFINE should have tried joins");
+    assert_eq!(
+        accepted + rejected,
+        attempts,
+        "every join attempt must be accepted or rejected"
+    );
+    // Equation-1 rejections are a subset of all rejections.
+    assert!(counters::CORE_JOINS_REJECTED_EQ1.get() <= rejected);
+
+    // Every anonymity trial landed in exactly one checker-path counter;
+    // for m=2 at this domain size at least one m=2 path must have fired.
+    let trials = counters::CORE_CHECKER_TRIALS_M2_TRIANGLE.get()
+        + counters::CORE_CHECKER_TRIALS_M2_SPARSE.get()
+        + counters::CORE_CHECKER_TRIALS_PACKED.get()
+        + counters::CORE_CHECKER_TRIALS_FALLBACK.get();
+    assert!(
+        trials > 0,
+        "VERPART/REFINE should have run anonymity checks"
+    );
+    assert!(
+        counters::CORE_CHECKER_TRIALS_M2_TRIANGLE.get()
+            + counters::CORE_CHECKER_TRIALS_M2_SPARSE.get()
+            > 0,
+        "an m=2 run should exercise an m=2 checker path"
+    );
+    assert_eq!(counters::CORE_ANONYMIZE_RUNS.get(), 1);
+    assert!(counters::CORE_HORPART_CLUSTERS.get() > 0);
+}
+
+#[test]
+fn incremental_dirty_cluster_counter_matches_the_outcome() {
+    let _guard = obs_lock();
+    let records: Vec<Record> = quest(2_000, 31).records().to_vec();
+    let split = records.len() - records.len() / 20;
+    let (base, delta) = records.split_at(split);
+
+    metrics::disable();
+    let disassociator = Disassociator::new(config());
+    let mut run = disassociator.anonymize_incremental(Dataset::from_records(base.to_vec()));
+
+    metrics::reset_all();
+    metrics::enable();
+    let outcome = run.append(delta);
+    metrics::disable();
+
+    assert_eq!(counters::INCR_APPENDS.get(), 1);
+    assert_eq!(
+        counters::INCR_DIRTY_CLUSTERS.get(),
+        outcome.dirty_clusters as u64,
+        "the dirty-cluster counter must agree with the AppendOutcome"
+    );
+    assert!(counters::INCR_ROUTED_RECORDS.get() <= delta.len() as u64);
+}
+
+#[test]
+fn wal_append_counter_matches_batches_ingested() {
+    let _guard = obs_lock();
+    let records: Vec<Record> = quest(500, 47).records().to_vec();
+    let dir = std::env::temp_dir().join(format!("obs_wal_test_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    metrics::reset_all();
+    metrics::enable();
+    let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+    let batch_size = 100;
+    let mut batches = 0u64;
+    for chunk in records.chunks(batch_size) {
+        store.append_batch(chunk).unwrap();
+        batches += 1;
+    }
+    store.flush().unwrap();
+    metrics::disable();
+
+    assert_eq!(
+        counters::STORE_WAL_APPENDS.get(),
+        batches,
+        "one WAL append per ingested batch"
+    );
+    assert!(counters::STORE_WAL_APPEND_BYTES.get() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
