@@ -41,6 +41,13 @@ pub struct ExperimentReport {
     pub parameters: String,
     /// The scale factor relative to the paper's workload (1 = full size).
     pub scale: usize,
+    /// Hardware context: what `std::thread::available_parallelism` reported
+    /// when the run was recorded (0 = unknown / pre-dates this field).
+    /// Thread-scaling series — e.g. the `pipeline` speedup in `BENCH_core` —
+    /// are only interpretable against the core count they ran on: a ≈1.0
+    /// speedup on 1 core is expected, not a regression.
+    #[serde(default)]
+    pub available_parallelism: usize,
     /// The measured series.
     pub series: Vec<Series>,
 }
@@ -53,6 +60,9 @@ impl ExperimentReport {
             title: title.to_owned(),
             parameters: parameters.to_owned(),
             scale,
+            available_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(0),
             series: Vec::new(),
         }
     }
@@ -68,8 +78,8 @@ impl ExperimentReport {
         let mut out = String::new();
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
         out.push_str(&format!(
-            "params: {} (scale 1/{})\n",
-            self.parameters, self.scale
+            "params: {} (scale 1/{}, {} available core(s))\n",
+            self.parameters, self.scale, self.available_parallelism
         ));
         if self.series.is_empty() {
             return out;
@@ -220,6 +230,25 @@ mod tests {
         let parsed: ExperimentReport = serde_json::from_str(&text).unwrap();
         assert_eq!(parsed, report);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hardware_context_is_recorded_and_rendered() {
+        let report = ExperimentReport::new("fig_hw", "demo", "none", 1);
+        assert!(
+            report.available_parallelism >= 1,
+            "available_parallelism should be detectable on any test host"
+        );
+        assert!(report.render_table().contains("available core(s)"));
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"available_parallelism\""));
+        // Reports written before the field existed still parse (field
+        // defaults to 0 = unknown).
+        let legacy: ExperimentReport = serde_json::from_str(
+            "{\"id\":\"x\",\"title\":\"t\",\"parameters\":\"p\",\"scale\":1,\"series\":[]}",
+        )
+        .unwrap();
+        assert_eq!(legacy.available_parallelism, 0);
     }
 
     #[test]

@@ -161,6 +161,29 @@ pub enum Command {
         m: usize,
         /// Batches anonymized concurrently (1 = serial, 0 = one per core).
         threads: usize,
+        /// Observability: metrics snapshot / trace / profile summary.
+        obs: ObsOptions,
+    },
+    /// Run the anonymization service daemon.
+    Serve {
+        /// Listen address, e.g. `127.0.0.1:7070` (`:0` for an ephemeral port).
+        listen: String,
+        /// Service data directory (one subdirectory per dataset).
+        data_dir: PathBuf,
+        /// Worker threads executing anonymize/append jobs.
+        workers: usize,
+        /// Per-dataset bound on queued/running jobs (503 beyond it).
+        queue_depth: usize,
+        /// Pipeline batch size for served anonymizations (0 = default).
+        batch_size: usize,
+        /// Concurrent connections before new ones are rejected.
+        max_connections: usize,
+        /// Largest request body a client may send, bytes.
+        max_body_bytes: u64,
+        /// Socket read timeout, milliseconds.
+        read_timeout_ms: u64,
+        /// Socket write timeout, milliseconds.
+        write_timeout_ms: u64,
     },
     /// Print usage information.
     Help,
@@ -379,7 +402,11 @@ USAGE:
                       [--no-refine] --out-prefix PREFIX [OBS FLAGS]
   disassoc reconstruct --chunks FILE.chunks.json --out FILE [--samples N] [--seed N]
   disassoc evaluate   (--input FILE | --store DIR) --k K --m M
-                      [--batch-size N] [--threads N]
+                      [--batch-size N] [--threads N] [OBS FLAGS]
+  disassoc serve      --listen ADDR --data-dir DIR [--workers N]
+                      [--queue-depth N] [--batch-size N] [--max-connections N]
+                      [--max-body-bytes N] [--read-timeout-ms N]
+                      [--write-timeout-ms N]
   disassoc help
 
 Store-backed runs stream the dataset in batches (out-of-core anonymization):
@@ -395,6 +422,13 @@ split criteria), re-runs VERPART/REFINE only on the clusters they land in
 with --publish rewrites only the chunk files of dirty batches — committed by
 one atomic manifest replace, so a crash leaves the old or the new chunk set,
 never a mix.
+
+`serve` runs the daemon: each dataset under --data-dir is its own locked
+store plus chunk publication, ingest is acknowledged only once WAL-durable,
+anonymize/append run on a bounded worker pool (503 + Retry-After over the
+per-dataset --queue-depth), and SIGTERM drains in-flight jobs, flushes every
+store, and exits 0.  Served publications are byte-identical to `anonymize`
+on the same records and batch size.
 
 OBS FLAGS — observability, off by default (zero-cost disabled path):
   --metrics-out FILE   write a JSON snapshot of every counter after the run
@@ -525,8 +559,38 @@ impl Command {
                     k: parse_usize("k", &req("k")?)?,
                     m: parse_usize("m", &req("m")?)?,
                     threads: parse_usize("threads", &get("threads").unwrap_or_else(|| "1".into()))?,
+                    obs: ObsOptions::from_flags(&flags),
                 })
             }
+            "serve" => Ok(Command::Serve {
+                listen: req("listen")?,
+                data_dir: PathBuf::from(req("data-dir")?),
+                workers: parse_usize("workers", &get("workers").unwrap_or_else(|| "2".into()))?,
+                queue_depth: parse_usize(
+                    "queue-depth",
+                    &get("queue-depth").unwrap_or_else(|| "4".into()),
+                )?,
+                batch_size: parse_usize(
+                    "batch-size",
+                    &get("batch-size").unwrap_or_else(|| "0".into()),
+                )?,
+                max_connections: parse_usize(
+                    "max-connections",
+                    &get("max-connections").unwrap_or_else(|| "32".into()),
+                )?,
+                max_body_bytes: parse_u64(
+                    "max-body-bytes",
+                    &get("max-body-bytes").unwrap_or_else(|| (64u64 << 20).to_string()),
+                )?,
+                read_timeout_ms: parse_u64(
+                    "read-timeout-ms",
+                    &get("read-timeout-ms").unwrap_or_else(|| "10000".into()),
+                )?,
+                write_timeout_ms: parse_u64(
+                    "write-timeout-ms",
+                    &get("write-timeout-ms").unwrap_or_else(|| "10000".into()),
+                )?,
+            }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Usage(format!(
                 "unknown subcommand {other:?}\n{USAGE}"
@@ -892,6 +956,7 @@ impl Command {
                 k,
                 m,
                 threads,
+                obs,
             } => {
                 let config = DisassociationConfig {
                     k: *k,
@@ -899,36 +964,90 @@ impl Command {
                     ..Default::default()
                 };
                 config.validate()?;
-                // The loss metrics compare against the original records, so
-                // `evaluate` materializes the dataset regardless of source
-                // (it is an offline analysis tool, not the ingest path).
-                let dataset = match (input, store) {
-                    (Some(path), _) => transact::io::read_numeric_transactions_path(path)?,
-                    (None, Some(dir)) => {
-                        let st = open_existing_store(dir)?;
-                        let mut records: Vec<Record> = Vec::new();
-                        let mut source = st.source(DEFAULT_STORE_BATCH);
-                        while let Some(batch) = source.next_batch()? {
-                            records.extend(batch);
+                let session = obs.start()?;
+                let result = (|| -> Result<InformationLoss, CliError> {
+                    // The loss metrics compare against the original records,
+                    // so `evaluate` materializes the dataset regardless of
+                    // source (it is an offline analysis tool, not the ingest
+                    // path).
+                    let dataset = match (input, store) {
+                        (Some(path), _) => transact::io::read_numeric_transactions_path(path)?,
+                        (None, Some(dir)) => {
+                            let st = open_existing_store(dir)?;
+                            let mut records: Vec<Record> = Vec::new();
+                            let mut source = st.source(DEFAULT_STORE_BATCH);
+                            while let Some(batch) = source.next_batch()? {
+                                records.extend(batch);
+                            }
+                            Dataset::from_records(records)
                         }
-                        Dataset::from_records(records)
+                        (None, None) => unreachable!("parser enforces input xor store"),
+                    };
+                    // Same batch-size semantics as `anonymize`, so the metrics
+                    // describe the publication `anonymize` would actually
+                    // write: 0 = monolithic for file input, default batch for
+                    // store.
+                    let effective_batch = if store.is_some() && *batch_size == 0 {
+                        DEFAULT_STORE_BATCH
+                    } else {
+                        *batch_size
+                    };
+                    let mut source = DatasetSource::new(&dataset, effective_batch);
+                    let mut sink = CollectSink::for_config(&config);
+                    run_pipeline(&config, &mut source, &mut sink, *threads)?;
+                    let output: DisassociationOutput = sink.into_output();
+                    Ok(InformationLoss::evaluate(
+                        &dataset,
+                        &output,
+                        &LossConfig::default(),
+                    ))
+                })();
+                let loss = match result {
+                    Ok(loss) => loss,
+                    Err(e) => {
+                        session.abort();
+                        return Err(e);
                     }
-                    (None, None) => unreachable!("parser enforces input xor store"),
                 };
-                // Same batch-size semantics as `anonymize`, so the metrics
-                // describe the publication `anonymize` would actually write:
-                // 0 = monolithic for file input, default batch for store.
-                let effective_batch = if store.is_some() && *batch_size == 0 {
-                    DEFAULT_STORE_BATCH
-                } else {
-                    *batch_size
-                };
-                let mut source = DatasetSource::new(&dataset, effective_batch);
-                let mut sink = CollectSink::for_config(&config);
-                run_pipeline(&config, &mut source, &mut sink, *threads)?;
-                let output: DisassociationOutput = sink.into_output();
-                let loss = InformationLoss::evaluate(&dataset, &output, &LossConfig::default());
                 writeln!(out, "{}", loss.table_row(&format!("k={k} m={m}")))?;
+                session.finish(out)?;
+                Ok(())
+            }
+            Command::Serve {
+                listen,
+                data_dir,
+                workers,
+                queue_depth,
+                batch_size,
+                max_connections,
+                max_body_bytes,
+                read_timeout_ms,
+                write_timeout_ms,
+            } => {
+                let config = disassoc_serve::ServeConfig {
+                    workers: (*workers).max(1),
+                    queue_depth: (*queue_depth).max(1),
+                    max_body_bytes: *max_body_bytes,
+                    read_timeout: std::time::Duration::from_millis((*read_timeout_ms).max(1)),
+                    write_timeout: std::time::Duration::from_millis((*write_timeout_ms).max(1)),
+                    max_connections: (*max_connections).max(1),
+                    batch_size: if *batch_size == 0 {
+                        DEFAULT_STORE_BATCH
+                    } else {
+                        *batch_size
+                    },
+                };
+                // SIGTERM/SIGINT become a graceful drain instead of a kill.
+                disassoc_serve::signal::install();
+                let server = disassoc_serve::Server::bind(listen.as_str(), data_dir, config)?;
+                let addr = server.local_addr()?;
+                // The daemon tests (and humans backgrounding the process)
+                // read this line to learn the bound port, so it must hit the
+                // pipe before the accept loop starts blocking.
+                writeln!(out, "listening on {addr} (data dir {})", data_dir.display())?;
+                out.flush()?;
+                server.run()?;
+                writeln!(out, "drained and shut down cleanly")?;
                 Ok(())
             }
         }

@@ -259,6 +259,25 @@ impl ClusterNode {
         set
     }
 
+    /// Whether `term` appears anywhere in this subtree: in a record-chunk
+    /// domain, a shared-chunk domain, or a term chunk.  Early-exit walk (no
+    /// set materialization) — the published-read filter of the service layer
+    /// (`GET /datasets/{name}/chunks?term=`) runs this per streamed cluster.
+    pub fn mentions_term(&self, term: TermId) -> bool {
+        match self {
+            ClusterNode::Simple(c) => {
+                c.term_chunk.contains(term)
+                    || c.record_chunks.iter().any(|rc| rc.domain.contains(&term))
+            }
+            ClusterNode::Joint(j) => {
+                j.shared_chunks
+                    .iter()
+                    .any(|s| s.chunk.domain.contains(&term))
+                    || j.children.iter().any(|child| child.mentions_term(term))
+            }
+        }
+    }
+
     /// Terms currently residing in term chunks of this subtree (the *virtual
     /// term chunk* of the refining step).
     pub fn virtual_term_chunk(&self) -> BTreeSet<TermId> {
@@ -476,6 +495,29 @@ mod tests {
         assert_eq!(joint.shared_chunks().len(), 1);
         assert!(joint.record_and_shared_terms().contains(&tid(5)));
         assert!(joint.virtual_term_chunk().contains(&tid(6)));
+    }
+
+    #[test]
+    fn mentions_term_covers_every_chunk_kind() {
+        let simple = ClusterNode::Simple(simple_cluster());
+        assert!(simple.mentions_term(tid(0)), "record-chunk domain");
+        assert!(simple.mentions_term(tid(6)), "term chunk");
+        assert!(!simple.mentions_term(tid(9)));
+
+        let joint = ClusterNode::Joint(JointCluster {
+            children: vec![ClusterNode::Simple(Cluster {
+                size: 3,
+                record_chunks: vec![RecordChunk::new(vec![tid(7)], vec![rec(&[7])])],
+                term_chunk: TermChunk::new(vec![]),
+            })],
+            shared_chunks: vec![SharedChunk {
+                chunk: RecordChunk::new(vec![tid(5)], vec![rec(&[5]), rec(&[5])]),
+                requires_k_anonymity: false,
+            }],
+        });
+        assert!(joint.mentions_term(tid(5)), "shared-chunk domain");
+        assert!(joint.mentions_term(tid(7)), "child record chunk");
+        assert!(!joint.mentions_term(tid(0)));
     }
 
     #[test]

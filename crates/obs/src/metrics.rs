@@ -261,6 +261,13 @@ pub mod counters {
         INCR_ROUTED_RECORDS => ("incr.routed_records", "Appended records routed into an existing cluster slot");
         INCR_DIRTY_CLUSTERS => ("incr.dirty_clusters", "Clusters marked dirty by appends");
         INCR_BUDGET_OVERFLOWS => ("incr.budget_overflows", "Appended records diverted to overflow by the dirty-cluster budget");
+        // --- serve (the `disassoc serve` daemon) --------------------------
+        SERVE_REQUESTS => ("serve.requests", "HTTP requests accepted by the service");
+        SERVE_REQUESTS_REJECTED => ("serve.requests_rejected", "HTTP requests answered with a 4xx/5xx status");
+        SERVE_INGESTED_RECORDS => ("serve.ingested_records", "Records ingested over the socket into dataset stores");
+        SERVE_ANONYMIZE_JOBS => ("serve.anonymize_jobs", "Anonymization jobs executed by the worker pool");
+        SERVE_APPEND_JOBS => ("serve.append_jobs", "Incremental append jobs executed by the worker pool");
+        SERVE_JOBS_REJECTED => ("serve.jobs_rejected", "Jobs rejected by backpressure (full per-dataset queue)");
     }
 }
 

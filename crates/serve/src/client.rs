@@ -1,0 +1,110 @@
+//! A minimal blocking HTTP client for the service's own tests and smoke
+//! checks — the other half of the wire protocol in [`crate::http`].
+//!
+//! One request per connection (the server closes after responding), bodies
+//! always carried with `Content-Length`, response read to EOF.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw header block (CRLF-joined, without the status line).
+    pub headers: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy — good enough for assertions and logs).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// A response header's value (ASCII case-insensitive name match).
+    pub fn header(&self, name: &str) -> Option<String> {
+        self.headers.lines().find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| v.trim().to_owned())
+        })
+    }
+}
+
+/// Sends one request and reads the full response.  `target` is the
+/// path-and-query, e.g. `/datasets/a/anonymize?k=3&m=2`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(630)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Convenience `GET`.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", target, b"")
+}
+
+/// Convenience `POST`.
+pub fn post(addr: SocketAddr, target: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", target, body)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| bad("response headers are not UTF-8"))?;
+    let (status_line, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok(ClientResponse {
+        status,
+        headers: headers.to_owned(),
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, b"{}");
+        assert_eq!(
+            resp.header("content-type").as_deref(),
+            Some("application/json")
+        );
+        assert_eq!(resp.header("missing"), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! A small fixed worker pool with a drain-on-shutdown contract.
+//!
+//! Jobs are boxed closures; the per-dataset admission bound lives one layer
+//! up (the router claims a [`crate::dataset::DatasetHandle`] job slot before
+//! submitting, and the job releases it when done), so the pool itself only
+//! knows about two states: accepting and draining.  Draining executes every
+//! job already queued — that is what makes SIGTERM lose no acknowledged
+//! work — and then lets the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// Shared submission handle: cheap to clone into connection threads.
+#[derive(Clone)]
+pub struct JobSubmitter {
+    queue: Arc<Queue>,
+}
+
+impl JobSubmitter {
+    /// Enqueues `job` unless the pool is draining; `false` means rejected
+    /// (the caller turns that into 503).
+    pub fn try_submit(&self, job: Job) -> bool {
+        let mut state = self
+            .queue
+            .jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if state.draining {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.queue.ready.notify_one();
+        true
+    }
+}
+
+/// The pool: `n` worker threads pulling off one shared queue.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts `n` (at least 1) workers.
+    pub fn start(n: usize) -> WorkerPool {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..n.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// A cloneable submission handle.
+    pub fn submitter(&self) -> JobSubmitter {
+        JobSubmitter {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Stops accepting new jobs, runs every job already queued, and joins
+    /// the workers.  This is the graceful-shutdown drain: a job whose
+    /// submission succeeded always executes (and sends its reply) before
+    /// the pool goes away.
+    pub fn drain(self) {
+        {
+            let mut state = self
+                .queue
+                .jobs
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state.draining = true;
+        }
+        self.queue.ready.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue
+                .jobs
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.draining {
+                    return;
+                }
+                state = queue
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        // A panicking job must not take the worker (or, transitively, the
+        // whole drain contract) down with it; the router-side wrapper turns
+        // the panic into a 500 reply before we get here.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_reply() {
+        let pool = WorkerPool::start(2);
+        let submitter = pool.submitter();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            assert!(submitter.try_submit(Box::new(move || {
+                tx.send(i).unwrap();
+            })));
+        }
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_runs_every_queued_job_then_rejects() {
+        // One worker → the queue really backs up before the drain.
+        let pool = WorkerPool::start(1);
+        let submitter = pool.submitter();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let ran = Arc::clone(&ran);
+            assert!(submitter.try_submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ran.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 16, "drain ran every queued job");
+        assert!(
+            !submitter.try_submit(Box::new(|| {})),
+            "submissions after drain are rejected"
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::start(1);
+        let submitter = pool.submitter();
+        assert!(submitter.try_submit(Box::new(|| panic!("job boom"))));
+        let (tx, rx) = mpsc::channel();
+        assert!(submitter.try_submit(Box::new(move || tx.send(42).unwrap())));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+        pool.drain();
+    }
+}

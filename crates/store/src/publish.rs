@@ -214,6 +214,35 @@ impl ChunkDir {
         Ok(combined)
     }
 
+    /// The combined published dataset restricted to clusters that mention
+    /// `term` (in a record-chunk domain, shared-chunk domain, or term
+    /// chunk), streamed batch file by batch file — the service layer's
+    /// term-filtered read path.  Peak residency is one batch, not the whole
+    /// publication.  Returns `None` when nothing is published.
+    pub fn combined_filtered(
+        &self,
+        term: transact::TermId,
+    ) -> Result<Option<DisassociatedDataset>> {
+        let mut combined: Option<DisassociatedDataset> = None;
+        for entry in &self.manifest.batches {
+            let mut batch = self.read_batch(entry.batch_index)?;
+            batch.dataset.clusters.retain(|n| n.mentions_term(term));
+            match &mut combined {
+                None => combined = Some(batch.dataset),
+                Some(d) => {
+                    if d.k != batch.dataset.k || d.m != batch.dataset.m {
+                        return Err(StoreError::corrupt(format!(
+                            "batch {} was published with (k={}, m={}), expected (k={}, m={})",
+                            entry.batch_index, batch.dataset.k, batch.dataset.m, d.k, d.m
+                        )));
+                    }
+                    d.clusters.extend(batch.dataset.clusters);
+                }
+            }
+        }
+        Ok(combined)
+    }
+
     fn file_name(batch_index: usize, generation: u64) -> String {
         format!("batch-{batch_index:06}.g{generation:06}.json")
     }
@@ -466,6 +495,23 @@ mod tests {
         chunks.accept(batch(1, 21)).unwrap();
         chunks.finish().unwrap();
         assert_eq!(chunks.generations(), vec![(0, 1), (1, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn combined_filtered_keeps_only_clusters_mentioning_the_term() {
+        let dir = tmpdir("filtered");
+        let mut chunks = ChunkDir::open(&dir).unwrap();
+        chunks.accept(batch(0, 10)).unwrap();
+        chunks.accept(batch(1, 20)).unwrap();
+        chunks.finish().unwrap();
+
+        let hits = chunks.combined_filtered(TermId::new(10)).unwrap().unwrap();
+        assert_eq!(hits.clusters.len(), 1);
+        assert!(hits.clusters[0].mentions_term(TermId::new(10)));
+        let misses = chunks.combined_filtered(TermId::new(999)).unwrap().unwrap();
+        assert!(misses.clusters.is_empty());
+        assert_eq!((misses.k, misses.m), (2, 2), "header survives the filter");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,8 +10,12 @@
 //!    batch (ENOSPC-style) aborts the run with `Error::Sink`, and the store
 //!    itself stays intact and scannable.
 //! 3. **Determinism regression** — `threads(4)` output is byte-identical to
-//!    `threads(1)` and to the PR 2 `stream_anonymize` shims for the same
-//!    batch size, over both in-memory and store-backed sources.
+//!    `threads(1)` and to the in-memory `CollectSink` path for the same
+//!    batch size, over both in-memory and store-backed sources.  (The
+//!    deprecated PR 2 `stream` shims prove their own bit-compatibility in
+//!    `crates/core/src/stream.rs`.)
+
+#![deny(deprecated)]
 
 use datagen::{QuestConfig, QuestGenerator};
 use disassoc_store::{Store, StoreConfig};
@@ -281,16 +285,18 @@ fn thread_count_and_entry_point_do_not_change_the_published_bytes() {
         "store-backed bytes must match in-memory"
     );
 
-    // PR 2 shim (deprecated, kept for compatibility): same bytes again.
-    #[allow(deprecated)]
-    let (output, _) = disassociation::stream::stream_anonymize_collect(
-        DatasetSource::new(&dataset, BATCH),
-        &config(),
-    );
-    let pr2 = serde_json::to_vec_pretty(&output.dataset).unwrap();
+    // Collecting sink instead of a file sink: same bytes again, so the
+    // choice of sink does not influence the publication either.
+    let mut collect = CollectSink::for_config(&config());
+    Pipeline::new(config())
+        .source(&mut DatasetSource::new(&dataset, BATCH))
+        .sink(&mut collect)
+        .run()
+        .unwrap();
+    let collected = serde_json::to_vec_pretty(&collect.into_output().dataset).unwrap();
     assert_eq!(
-        serial, pr2,
-        "the PR 2 stream shims must publish identically"
+        serial, collected,
+        "the collecting sink must publish identically"
     );
 
     drop(store);

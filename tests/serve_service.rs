@@ -1,0 +1,285 @@
+//! Integration tests for the `disassoc-serve` daemon (in-process): socket
+//! ingest → served anonymization → fetched publication, byte-identical to
+//! the CLI batch path; graceful-shutdown durability; hostile-input
+//! robustness; dataset isolation; and queue backpressure.
+//!
+//! Process-level tests (SIGTERM, kill -9 against the real binary) live in
+//! `crates/cli/tests/serve_daemon.rs`, where Cargo exposes the `disassoc`
+//! executable path.
+
+use datagen::{QuestConfig, QuestGenerator};
+use disassoc_cli::Command;
+use disassoc_serve::{client, ServeConfig, Server, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use transact::Dataset;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("disassoc_serve_it_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quest(records: usize, domain: usize, seed: u64) -> Dataset {
+    QuestGenerator::generate_with(QuestConfig {
+        num_transactions: records,
+        domain_size: domain,
+        avg_transaction_len: 6.0,
+        seed,
+        ..QuestConfig::default()
+    })
+}
+
+fn numeric_body(dataset: &Dataset) -> Vec<u8> {
+    let mut body = Vec::new();
+    transact::io::write_numeric_transactions(dataset, &mut body).unwrap();
+    body
+}
+
+fn spawn_server(
+    data_dir: &Path,
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", data_dir.to_path_buf(), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, shutdown, join)
+}
+
+fn run_cli(line: &str) -> Vec<u8> {
+    let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = Command::parse(&args).expect("valid command line");
+    let mut out = Vec::new();
+    cmd.run(&mut out).expect("command succeeds");
+    out
+}
+
+/// The acceptance-criteria round trip: records ingested over the socket,
+/// anonymized by the service, and the fetched publication is byte-identical
+/// to what `disassoc ingest` + `disassoc anonymize --store` write for the
+/// same records and batch size.
+#[test]
+fn served_publication_is_byte_identical_to_the_cli_batch_path() {
+    let dataset = quest(700, 90, 11);
+    let body = numeric_body(&dataset);
+
+    // Service path.
+    let data_dir = tmpdir("identical_serve");
+    let (addr, shutdown, join) = spawn_server(&data_dir, ServeConfig::default());
+    let ingest = client::post(addr, "/datasets/d/records", &body).unwrap();
+    assert_eq!(ingest.status, 200, "{}", ingest.text());
+    let anon = client::post(addr, "/datasets/d/anonymize?k=3&m=2", b"").unwrap();
+    assert_eq!(anon.status, 200, "{}", anon.text());
+    let fetched = client::get(addr, "/datasets/d/chunks").unwrap();
+    assert_eq!(fetched.status, 200);
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+
+    // CLI batch path on the same records: file → store → publication.
+    let cli_dir = tmpdir("identical_cli");
+    let input = cli_dir.join("input.dat");
+    transact::io::write_numeric_transactions_path(&dataset, &input).unwrap();
+    let store = cli_dir.join("store");
+    let prefix = cli_dir.join("published");
+    run_cli(&format!(
+        "ingest --input {} --store {}",
+        input.display(),
+        store.display()
+    ));
+    run_cli(&format!(
+        "anonymize --store {} --k 3 --m 2 --out-prefix {}",
+        store.display(),
+        prefix.display()
+    ));
+    let cli_bytes = std::fs::read(prefix.with_extension("chunks.json")).unwrap();
+
+    assert_eq!(
+        fetched.body, cli_bytes,
+        "served publication and CLI publication must be byte-identical"
+    );
+
+    // The served flat file is what GET /chunks returned.
+    let served_bytes = std::fs::read(data_dir.join("d/publication.chunks.json")).unwrap();
+    assert_eq!(fetched.body, served_bytes);
+}
+
+/// Acknowledged ingests survive a graceful shutdown and are all present —
+/// and anonymizable — when a fresh server reopens the same data directory.
+#[test]
+fn graceful_shutdown_drains_and_acknowledged_ingests_survive_restart() {
+    let data_dir = tmpdir("drain");
+    let dataset = quest(300, 60, 5);
+    let body = numeric_body(&dataset);
+
+    let (addr, shutdown, join) = spawn_server(&data_dir, ServeConfig::default());
+    for _ in 0..3 {
+        let resp = client::post(addr, "/datasets/d/records", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    shutdown.shutdown();
+    join.join().unwrap().expect("graceful shutdown returns Ok");
+
+    // Restart on the same directory: the dataset is rediscovered with every
+    // acknowledged record, and the store lock was released cleanly.
+    let (addr, shutdown, join) = spawn_server(&data_dir, ServeConfig::default());
+    let info = client::get(addr, "/datasets/d").unwrap();
+    assert_eq!(info.status, 200, "{}", info.text());
+    let expected = format!("\"records\": {}", 3 * dataset.len());
+    let compact = format!("\"records\":{}", 3 * dataset.len());
+    assert!(
+        info.text().contains(&expected) || info.text().contains(&compact),
+        "{}",
+        info.text()
+    );
+    let anon = client::post(addr, "/datasets/d/anonymize?k=3&m=2", b"").unwrap();
+    assert_eq!(anon.status, 200, "{}", anon.text());
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Malformed and oversized bodies come back as 4xx — and the server keeps
+/// serving afterwards (no panic, no wedged state).
+#[test]
+fn hostile_requests_get_4xx_and_the_server_survives() {
+    let data_dir = tmpdir("hostile");
+    let config = ServeConfig {
+        max_body_bytes: 4 * 1024,
+        ..ServeConfig::default()
+    };
+    let (addr, shutdown, join) = spawn_server(&data_dir, config);
+
+    // Body over the declared limit → 413.
+    let big = vec![b'1'; 8 * 1024];
+    let resp = client::post(addr, "/datasets/d/records", &big).unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.text());
+
+    // Unparseable record lines → 400 (and nothing is ingested).
+    let resp = client::post(addr, "/datasets/d/records", b"1 2\nnot a record\n").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // Garbage instead of HTTP → 400 on the wire.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"EHLO not-http\r\n\r\n").unwrap();
+    let mut answer = String::new();
+    raw.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+
+    // A lying Content-Length (declared but never sent) → the connection is
+    // dropped without taking the server down.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /datasets/d/records HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        .unwrap();
+    drop(raw);
+
+    // Unknown query parameters are ignored, but malformed privacy
+    // parameters are a 400.
+    let resp = client::post(addr, "/datasets/d/anonymize?k=two&m=2", b"").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // After all the abuse the daemon still answers.
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Two datasets are fully independent: concurrent ingest + anonymize on
+/// both succeeds with no store-lock conflicts, and each publication holds
+/// its own records.
+#[test]
+fn two_datasets_are_served_concurrently_without_lock_conflicts() {
+    let data_dir = tmpdir("pair");
+    let (addr, shutdown, join) = spawn_server(&data_dir, ServeConfig::default());
+
+    let worker = |name: &'static str, seed: u64| {
+        std::thread::spawn(move || {
+            let body = numeric_body(&quest(400, 70, seed));
+            let ingest = client::post(addr, &format!("/datasets/{name}/records"), &body).unwrap();
+            assert_eq!(ingest.status, 200, "{}", ingest.text());
+            let anon =
+                client::post(addr, &format!("/datasets/{name}/anonymize?k=3&m=2"), b"").unwrap();
+            assert_eq!(anon.status, 200, "{}", anon.text());
+            let chunks = client::get(addr, &format!("/datasets/{name}/chunks")).unwrap();
+            assert_eq!(chunks.status, 200);
+            chunks.body
+        })
+    };
+    let left = worker("left", 1);
+    let right = worker("right", 2);
+    let left_bytes = left.join().unwrap();
+    let right_bytes = right.join().unwrap();
+    assert_ne!(
+        left_bytes, right_bytes,
+        "different datasets publish different chunks"
+    );
+
+    let list = client::get(addr, "/datasets").unwrap();
+    assert!(list.text().contains("\"left\""), "{}", list.text());
+    assert!(list.text().contains("\"right\""), "{}", list.text());
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// With one worker and a per-dataset queue depth of 1, a dataset whose job
+/// slot is taken answers 503 + `Retry-After` instead of queueing without
+/// bound — and the queued work still completes.
+#[test]
+fn full_per_dataset_queues_answer_503_with_retry_after() {
+    let data_dir = tmpdir("backpressure");
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, shutdown, join) = spawn_server(&data_dir, config);
+
+    // A chunky dataset keeps the single worker busy well past the window
+    // in which the assertions below run.
+    let blocker_body = numeric_body(&quest(12_000, 150, 77));
+    assert_eq!(
+        client::post(addr, "/datasets/blocker/records", &blocker_body)
+            .unwrap()
+            .status,
+        200
+    );
+    let small_body = numeric_body(&quest(120, 40, 78));
+    assert_eq!(
+        client::post(addr, "/datasets/small/records", &small_body)
+            .unwrap()
+            .status,
+        200
+    );
+
+    let blocker = std::thread::spawn(move || {
+        client::post(addr, "/datasets/blocker/anonymize?k=3&m=2", b"").unwrap()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // The small dataset's job queues behind the blocker (the only worker is
+    // busy), occupying its one slot...
+    let queued = std::thread::spawn(move || {
+        client::post(addr, "/datasets/small/anonymize?k=3&m=2", b"").unwrap()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // ...so a second job on the same dataset is rejected immediately.
+    let rejected = client::post(addr, "/datasets/small/anonymize?k=3&m=2", b"").unwrap();
+    assert_eq!(rejected.status, 503, "{}", rejected.text());
+    assert_eq!(rejected.header("Retry-After").as_deref(), Some("1"));
+
+    // Backpressure rejects, it does not break: both accepted jobs finish.
+    assert_eq!(blocker.join().unwrap().status, 200);
+    assert_eq!(queued.join().unwrap().status, 200);
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}

@@ -12,15 +12,17 @@
 //!    size.  This is observed through an instrumented source, not asserted
 //!    from documentation.
 //!
-//! This suite deliberately keeps calling the deprecated PR 2 `stream` shims:
-//! it is the compatibility proof that they still publish bit-identically now
-//! that they are thin wrappers over `disassociation::pipeline::Pipeline`.
-//! The new API has its own suite in `tests/pipeline_api.rs`.
-#![allow(deprecated)]
+//! Everything here runs through `disassociation::pipeline::Pipeline` — the
+//! deprecated PR 2 `stream` shims keep their bit-compatibility proof in
+//! their own unit tests (`crates/core/src/stream.rs`).  The broader
+//! pipeline-API suite is `tests/pipeline_api.rs`.
+#![deny(deprecated)]
 
 use datagen::{QuestConfig, QuestGenerator};
 use disassoc_store::{Store, StoreConfig};
-use disassociation::stream::{dataset_batches, stream_anonymize, stream_anonymize_collect};
+use disassociation::pipeline::{
+    CollectSink, DatasetSource, FnSink, IterSource, Pipeline, RecordSource,
+};
 use disassociation::{DisassociationConfig, Disassociator};
 use std::cell::Cell;
 use std::path::{Path, PathBuf};
@@ -87,13 +89,14 @@ fn scan_all(store: &Store, batch: usize) -> Vec<Vec<Record>> {
     store.scan(batch).map(|b| b.unwrap()).collect()
 }
 
-fn publish_bytes<B, I>(batches: I) -> Vec<u8>
-where
-    B: Into<Vec<Record>>,
-    I: IntoIterator<Item = B>,
-{
-    let (output, _) = stream_anonymize_collect(batches, &config());
-    serde_json::to_vec_pretty(&output.dataset).unwrap()
+fn publish_bytes(source: &mut dyn RecordSource) -> Vec<u8> {
+    let mut sink = CollectSink::for_config(&config());
+    Pipeline::new(config())
+        .source(source)
+        .sink(&mut sink)
+        .run()
+        .unwrap();
+    serde_json::to_vec_pretty(&sink.into_output().dataset).unwrap()
 }
 
 #[test]
@@ -114,12 +117,12 @@ fn store_backed_output_is_byte_identical_to_in_memory_output() {
 
     // Same batch size, two sources: the published JSON must match byte for
     // byte.
-    let from_store = publish_bytes(scan_all(&store, BATCH));
-    let from_memory = publish_bytes(dataset_batches(&dataset, BATCH));
+    let from_store = publish_bytes(&mut IterSource::new(scan_all(&store, BATCH)));
+    let from_memory = publish_bytes(&mut DatasetSource::new(&dataset, BATCH));
     assert_eq!(from_store, from_memory);
 
     // One huge batch through the store equals the monolithic path exactly.
-    let single = publish_bytes(scan_all(&store, usize::MAX));
+    let single = publish_bytes(&mut IterSource::new(scan_all(&store, usize::MAX)));
     let monolithic = Disassociator::try_new(config())
         .expect("valid disassociation configuration")
         .anonymize(&dataset);
@@ -150,7 +153,8 @@ fn store_backed_run_pulls_batches_lazily_bounding_residency() {
     let observations = Rc::new(Cell::new(0usize));
     let obs = Rc::clone(&observations);
     let pulled_at_sink = Rc::clone(&pulled);
-    let summary = stream_anonymize(source, &config(), move |batch| {
+    let mut source = IterSource::new(source);
+    let mut sink = FnSink::new(move |batch| {
         assert_eq!(
             pulled_at_sink.get(),
             batch.batch_index + 1,
@@ -160,6 +164,11 @@ fn store_backed_run_pulls_batches_lazily_bounding_residency() {
         );
         obs.set(obs.get() + 1);
     });
+    let summary = Pipeline::new(config())
+        .source(&mut source)
+        .sink(&mut sink)
+        .run()
+        .unwrap();
 
     assert_eq!(summary.records, 300);
     assert_eq!(summary.batches, observations.get());
@@ -197,8 +206,8 @@ fn crash_recovered_store_publishes_identically_too() {
     }
     let store = Store::open(&store_dir, StoreConfig::default()).unwrap();
     assert_eq!(store.recovered_records(), 300);
-    let from_store = publish_bytes(scan_all(&store, BATCH));
-    let from_memory = publish_bytes(dataset_batches(&dataset, BATCH));
+    let from_store = publish_bytes(&mut IterSource::new(scan_all(&store, BATCH)));
+    let from_memory = publish_bytes(&mut DatasetSource::new(&dataset, BATCH));
     assert_eq!(from_store, from_memory);
     std::fs::remove_dir_all(&dir).ok();
 }
