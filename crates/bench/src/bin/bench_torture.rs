@@ -1,0 +1,30 @@
+//! Crash-consistency torture sweep (see `disassoc_bench::torture_bench`):
+//! enumerates every store/publication failpoint under error and panic
+//! modes, verifies recovery at each, and measures the disarmed fault
+//! layer's overhead, written to `experiments/out/BENCH_torture.json`.
+//!
+//! Usage: `cargo run --release -p disassoc-bench --bin bench_torture
+//! [--seed N]` (default 7; the seed drives workload content and the
+//! registry's deterministic probabilistic policies).
+
+fn main() {
+    let mut seed = 7u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects an unsigned integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: bench_torture [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    disassoc_bench::torture_bench::bench_torture(seed).finish();
+}

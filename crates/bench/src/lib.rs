@@ -19,6 +19,7 @@ pub mod experiment;
 pub mod figures;
 pub mod scenario_bench;
 pub mod store_bench;
+pub mod torture_bench;
 pub mod workloads;
 
 pub use experiment::{parse_scale_arg, ExperimentReport, Series};

@@ -184,6 +184,10 @@ pub enum Command {
         read_timeout_ms: u64,
         /// Socket write timeout, milliseconds.
         write_timeout_ms: u64,
+        /// Per-job wall-clock timeout, milliseconds (504 past it).
+        job_timeout_ms: u64,
+        /// Stream a JSONL trace of the daemon's spans/events here.
+        trace: Option<PathBuf>,
     },
     /// Print usage information.
     Help,
@@ -406,7 +410,8 @@ USAGE:
   disassoc serve      --listen ADDR --data-dir DIR [--workers N]
                       [--queue-depth N] [--batch-size N] [--max-connections N]
                       [--max-body-bytes N] [--read-timeout-ms N]
-                      [--write-timeout-ms N]
+                      [--write-timeout-ms N] [--job-timeout-ms N]
+                      [--trace FILE]
   disassoc help
 
 Store-backed runs stream the dataset in batches (out-of-core anonymization):
@@ -428,7 +433,10 @@ store plus chunk publication, ingest is acknowledged only once WAL-durable,
 anonymize/append run on a bounded worker pool (503 + Retry-After over the
 per-dataset --queue-depth), and SIGTERM drains in-flight jobs, flushes every
 store, and exits 0.  Served publications are byte-identical to `anonymize`
-on the same records and batch size.
+on the same records and batch size.  Jobs past --job-timeout-ms answer 504;
+--trace streams the daemon's JSONL event trace for its whole lifetime.
+Setting DISASSOC_FAULTS arms the deterministic failpoint registry inside
+the daemon (testing only — see crates/faults/README.md for the syntax).
 
 OBS FLAGS — observability, off by default (zero-cost disabled path):
   --metrics-out FILE   write a JSON snapshot of every counter after the run
@@ -590,6 +598,11 @@ impl Command {
                     "write-timeout-ms",
                     &get("write-timeout-ms").unwrap_or_else(|| "10000".into()),
                 )?,
+                job_timeout_ms: parse_u64(
+                    "job-timeout-ms",
+                    &get("job-timeout-ms").unwrap_or_else(|| "600000".into()),
+                )?,
+                trace: get("trace").map(PathBuf::from),
             }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Usage(format!(
@@ -1023,6 +1036,8 @@ impl Command {
                 max_body_bytes,
                 read_timeout_ms,
                 write_timeout_ms,
+                job_timeout_ms,
+                trace,
             } => {
                 let config = disassoc_serve::ServeConfig {
                     workers: (*workers).max(1),
@@ -1036,7 +1051,17 @@ impl Command {
                     } else {
                         *batch_size
                     },
+                    job_reply_timeout: std::time::Duration::from_millis((*job_timeout_ms).max(1)),
                 };
+                // Failpoints arm from the environment so the torture harness
+                // (and operators rehearsing failures) can inject faults into
+                // a real daemon; unset, this leaves the registry disabled.
+                disassoc_faults::arm_from_env().map_err(|e| {
+                    CliError::Usage(format!("bad {}: {e}", disassoc_faults::ENV_VAR))
+                })?;
+                if let Some(path) = trace {
+                    disassoc_obs::trace::init_file(path)?;
+                }
                 // SIGTERM/SIGINT become a graceful drain instead of a kill.
                 disassoc_serve::signal::install();
                 let server = disassoc_serve::Server::bind(listen.as_str(), data_dir, config)?;
@@ -1046,7 +1071,11 @@ impl Command {
                 // pipe before the accept loop starts blocking.
                 writeln!(out, "listening on {addr} (data dir {})", data_dir.display())?;
                 out.flush()?;
-                server.run()?;
+                let run_result = server.run();
+                if trace.is_some() {
+                    disassoc_obs::trace::shutdown()?;
+                }
+                run_result?;
                 writeln!(out, "drained and shut down cleanly")?;
                 Ok(())
             }

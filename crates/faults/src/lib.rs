@@ -1,0 +1,642 @@
+//! # disassoc-faults — deterministic failpoint injection
+//!
+//! A registry of named **failpoints**: places in the code (almost always
+//! around an fsync, rename, create, or payload write) that consult this
+//! crate before doing real I/O.  A test, a bench driver, or an operator can
+//! *arm* a site with a policy — return an injected [`io::Error`], short-write
+//! a payload, panic to simulate a crash, or delay — and the instrumented
+//! code fails exactly there, deterministically, without `unsafe`, syscall
+//! interposition, or special filesystems.
+//!
+//! The design follows `disassoc-obs`: when nothing is armed the hot path is
+//! **one relaxed atomic load** ([`enabled`]) and nothing else — no lock, no
+//! map lookup, no allocation.  Policies are deterministic by construction
+//! (trigger on the Nth matching hit, stop after a limit) and, when
+//! probabilistic triggering is requested, driven by a per-site xorshift
+//! generator seeded from [`set_seed`] so a given seed always reproduces the
+//! same fault schedule.
+//!
+//! ## Arming
+//!
+//! Programmatically:
+//!
+//! ```
+//! use disassoc_faults as faults;
+//! faults::arm("store.wal.append", faults::Policy::error().once());
+//! assert!(faults::check_at("store.wal.append", std::path::Path::new("wal.log")).is_err());
+//! assert!(faults::check_at("store.wal.append", std::path::Path::new("wal.log")).is_ok());
+//! faults::disarm_all();
+//! ```
+//!
+//! Or from the environment (`DISASSOC_FAULTS`), using the spec grammar
+//! `site=kind[:arg][@nth][#limit][~substr][%prob]`, `;`-separated:
+//!
+//! ```text
+//! DISASSOC_FAULTS='store.manifest.rename=error@2#1;store.wal.sync=full~/dsa/'
+//! ```
+//!
+//! | token      | meaning                                                    |
+//! |------------|------------------------------------------------------------|
+//! | `error`    | injected `io::Error` (kind `Other`)                        |
+//! | `full`     | injected `io::Error` (kind `StorageFull`, i.e. ENOSPC)     |
+//! | `short:N`  | write only the first `N` bytes of a payload, then error    |
+//! | `panic`    | panic to simulate a crash at the site                      |
+//! | `delay:MS` | sleep `MS` milliseconds, then proceed normally             |
+//! | `@nth`     | start triggering at the Nth matching hit (default 1)       |
+//! | `#limit`   | stop after `limit` triggers (default 0 = unlimited)        |
+//! | `~substr`  | only trigger when the operation's path contains `substr`   |
+//! | `%p`       | per-hit trigger probability in `[0,1]` (seeded, default 1) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Environment variable consulted by [`arm_from_env`].
+pub const ENV_VAR: &str = "DISASSOC_FAULTS";
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+static REGISTRY: Mutex<BTreeMap<String, SiteState>> = Mutex::new(BTreeMap::new());
+
+fn lock_registry() -> MutexGuard<'static, BTreeMap<String, SiteState>> {
+    // A panic-kind failpoint unwinds from the *caller*, never while this
+    // lock is held, but a panicking test thread elsewhere must not wedge
+    // the registry for the rest of the process.
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What an armed failpoint does when it triggers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an injected [`io::Error`] of the given kind.
+    Error(io::ErrorKind),
+    /// In [`write_all_at`]: write only the first `N` bytes, then return an
+    /// injected error — a torn write.  In [`check_at`] (no payload to
+    /// tear): degrade to a plain injected error.
+    ShortWrite(usize),
+    /// Panic, simulating a process crash at the site.
+    Panic,
+    /// Sleep for the duration, then proceed normally.
+    Delay(Duration),
+}
+
+/// A per-site policy: what to inject, and when.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    kind: FaultKind,
+    start_hit: u64,
+    max_triggers: u64,
+    probability: f64,
+    path_contains: Option<String>,
+}
+
+impl Policy {
+    /// A policy injecting the given fault on every matching hit.
+    pub fn new(kind: FaultKind) -> Policy {
+        Policy {
+            kind,
+            start_hit: 1,
+            max_triggers: 0,
+            probability: 1.0,
+            path_contains: None,
+        }
+    }
+
+    /// Inject a generic [`io::Error`] (kind `Other`).
+    pub fn error() -> Policy {
+        Policy::new(FaultKind::Error(io::ErrorKind::Other))
+    }
+
+    /// Inject ENOSPC (`io::ErrorKind::StorageFull`) — a full disk.
+    pub fn disk_full() -> Policy {
+        Policy::new(FaultKind::Error(io::ErrorKind::StorageFull))
+    }
+
+    /// Short-write the first `n` bytes of a payload, then error.
+    pub fn short_write(n: usize) -> Policy {
+        Policy::new(FaultKind::ShortWrite(n))
+    }
+
+    /// Panic at the site, simulating a crash.
+    pub fn crash() -> Policy {
+        Policy::new(FaultKind::Panic)
+    }
+
+    /// Sleep for `d` at the site, then proceed.
+    pub fn delay(d: Duration) -> Policy {
+        Policy::new(FaultKind::Delay(d))
+    }
+
+    /// Trigger at most once.
+    pub fn once(self) -> Policy {
+        self.limit(1)
+    }
+
+    /// Start triggering at the `n`th matching hit (1-based).
+    pub fn on_hit(mut self, n: u64) -> Policy {
+        self.start_hit = n.max(1);
+        self
+    }
+
+    /// Stop after `n` triggers (`0` = unlimited, the default).
+    pub fn limit(mut self, n: u64) -> Policy {
+        self.max_triggers = n;
+        self
+    }
+
+    /// Only trigger when the operation's path contains `needle` — the knob
+    /// that scopes a globally-armed fault to one store or dataset directory.
+    pub fn when_path_contains(mut self, needle: impl Into<String>) -> Policy {
+        self.path_contains = Some(needle.into());
+        self
+    }
+
+    /// Trigger each eligible hit with probability `p` (clamped to `[0,1]`),
+    /// drawn from a per-site generator seeded via [`set_seed`].
+    pub fn with_probability(mut self, p: f64) -> Policy {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+struct SiteState {
+    policy: Policy,
+    rng: u64,
+    hits: u64,
+    triggers: u64,
+}
+
+/// Hit/trigger counters for one armed site (see [`site_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Matching hits observed (path filter already applied).
+    pub hits: u64,
+    /// Faults actually injected at this site.
+    pub triggers: u64,
+}
+
+/// Whether any failpoint is armed.  One relaxed load — this is the entire
+/// cost of the seam when fault injection is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Sets the seed for probabilistic policies.  Each site's generator is
+/// derived from this seed and the site name at arming time, so arming the
+/// same spec under the same seed reproduces the same fault schedule.
+pub fn set_seed(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn rng_for(site: &str) -> u64 {
+    let state = SEED.load(Ordering::Relaxed) ^ fnv1a(site);
+    if state == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        state
+    }
+}
+
+/// xorshift64* in `[0,1)`; deterministic given the per-site state.
+fn next_unit(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Arms `site` with `policy`, replacing any existing policy for the site.
+pub fn arm(site: &str, policy: Policy) {
+    let mut map = lock_registry();
+    map.insert(
+        site.to_owned(),
+        SiteState {
+            rng: rng_for(site),
+            policy,
+            hits: 0,
+            triggers: 0,
+        },
+    );
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms `site` (a no-op if it was not armed).
+pub fn disarm(site: &str) {
+    let mut map = lock_registry();
+    map.remove(site);
+    if map.is_empty() {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    let mut map = lock_registry();
+    map.clear();
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Total faults injected since process start (monotonic, never reset).
+/// Unlike the `faults.injected` obs counter this is *not* gated on the obs
+/// layer being enabled, so tests can always assert on it.
+pub fn injected_total() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Hit/trigger counters for `site`, or `None` if it is not armed.
+pub fn site_stats(site: &str) -> Option<SiteStats> {
+    lock_registry().get(site).map(|s| SiteStats {
+        hits: s.hits,
+        triggers: s.triggers,
+    })
+}
+
+/// The currently armed site names, sorted.
+pub fn armed_sites() -> Vec<String> {
+    lock_registry().keys().cloned().collect()
+}
+
+/// Whether `err` was produced by this crate (rather than the real
+/// filesystem).  Matches on the message prefix written by the injectors.
+pub fn is_injected(err: &io::Error) -> bool {
+    err.to_string().starts_with("injected ")
+}
+
+/// Arms every entry of a `;`-separated spec (see the crate docs for the
+/// grammar).  Returns the number of sites armed.
+pub fn arm_spec(spec: &str) -> Result<usize, String> {
+    let mut armed = 0usize;
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, policy) = parse_entry(entry)?;
+        arm(&site, policy);
+        armed += 1;
+    }
+    Ok(armed)
+}
+
+/// Arms failpoints from the [`ENV_VAR`] environment variable, if set.
+/// Returns the number of sites armed (0 when unset or empty).
+pub fn arm_from_env() -> Result<usize, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) => arm_spec(&spec),
+        Err(_) => Ok(0),
+    }
+}
+
+fn parse_entry(entry: &str) -> Result<(String, Policy), String> {
+    let (site, rest) = entry
+        .split_once('=')
+        .ok_or_else(|| format!("fault spec {entry:?}: expected site=kind"))?;
+    let site = site.trim();
+    if site.is_empty() {
+        return Err(format!("fault spec {entry:?}: empty site name"));
+    }
+    // The kind (with its optional `:arg`) runs to the first modifier marker.
+    let kind_end = rest.find(['@', '#', '~', '%']).unwrap_or(rest.len());
+    let kind_str = &rest[..kind_end];
+    let kind = match kind_str.split_once(':') {
+        None => match kind_str {
+            "error" => FaultKind::Error(io::ErrorKind::Other),
+            "full" => FaultKind::Error(io::ErrorKind::StorageFull),
+            "panic" => FaultKind::Panic,
+            other => return Err(format!("fault spec {entry:?}: unknown kind {other:?}")),
+        },
+        Some(("short", n)) => FaultKind::ShortWrite(
+            n.parse()
+                .map_err(|_| format!("fault spec {entry:?}: bad short-write length {n:?}"))?,
+        ),
+        Some(("delay", ms)) => FaultKind::Delay(Duration::from_millis(
+            ms.parse()
+                .map_err(|_| format!("fault spec {entry:?}: bad delay millis {ms:?}"))?,
+        )),
+        Some((other, _)) => {
+            return Err(format!("fault spec {entry:?}: unknown kind {other:?}"));
+        }
+    };
+    let mut policy = Policy::new(kind);
+    let mut tail = &rest[kind_end..];
+    while !tail.is_empty() {
+        let marker = tail.as_bytes()[0];
+        let body = &tail[1..];
+        let end = body.find(['@', '#', '~', '%']).unwrap_or(body.len());
+        let value = &body[..end];
+        match marker {
+            b'@' => {
+                policy = policy.on_hit(
+                    value
+                        .parse()
+                        .map_err(|_| format!("fault spec {entry:?}: bad @nth value {value:?}"))?,
+                );
+            }
+            b'#' => {
+                policy =
+                    policy.limit(value.parse().map_err(|_| {
+                        format!("fault spec {entry:?}: bad #limit value {value:?}")
+                    })?);
+            }
+            b'~' => policy = policy.when_path_contains(value),
+            b'%' => {
+                policy = policy.with_probability(value.parse().map_err(|_| {
+                    format!("fault spec {entry:?}: bad %probability value {value:?}")
+                })?);
+            }
+            _ => unreachable!("modifier scan only stops at markers"),
+        }
+        tail = &body[end..];
+    }
+    Ok((site.to_owned(), policy))
+}
+
+/// The slow path: consults the registry and decides whether the armed
+/// policy (if any) triggers for this hit.  Never panics or sleeps while
+/// holding the registry lock — the returned kind is acted on by the caller.
+fn decide(site: &str, path: &Path) -> Option<FaultKind> {
+    let mut map = lock_registry();
+    let state = map.get_mut(site)?;
+    if let Some(needle) = &state.policy.path_contains {
+        if !path.to_string_lossy().contains(needle.as_str()) {
+            return None;
+        }
+    }
+    state.hits += 1;
+    if state.hits < state.policy.start_hit {
+        return None;
+    }
+    if state.policy.max_triggers != 0 && state.triggers >= state.policy.max_triggers {
+        return None;
+    }
+    if state.policy.probability < 1.0 && next_unit(&mut state.rng) >= state.policy.probability {
+        return None;
+    }
+    state.triggers += 1;
+    let kind = state.policy.kind.clone();
+    INJECTED.fetch_add(1, Ordering::Relaxed);
+    drop(map);
+    disassoc_obs::metrics::counters::FAULTS_INJECTED.inc();
+    Some(kind)
+}
+
+fn injected_error(kind: io::ErrorKind, site: &str) -> io::Error {
+    io::Error::new(kind, format!("injected fault at failpoint {site}"))
+}
+
+/// Consults the failpoint `site` with no associated path.  Policies with a
+/// path filter never trigger here.  One relaxed load when nothing is armed.
+#[inline]
+pub fn check(site: &str) -> io::Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    check_slow(site, Path::new(""))
+}
+
+/// Consults the failpoint `site` for an operation on `path`.  One relaxed
+/// load when nothing is armed.
+#[inline]
+pub fn check_at(site: &str, path: &Path) -> io::Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    check_slow(site, path)
+}
+
+fn check_slow(site: &str, path: &Path) -> io::Result<()> {
+    match decide(site, path) {
+        None => Ok(()),
+        Some(FaultKind::Error(kind)) => Err(injected_error(kind, site)),
+        // No payload to tear here; degrade to a plain injected error.
+        Some(FaultKind::ShortWrite(_)) => Err(injected_error(io::ErrorKind::Other, site)),
+        Some(FaultKind::Panic) => panic!("injected crash at failpoint {site}"),
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// Writes `buf` to `out`, routed through the failpoint `site`: a
+/// `ShortWrite(n)` policy writes only the first `n` bytes before erroring
+/// (a torn write), other policies behave as in [`check_at`].  When nothing
+/// is armed this is `out.write_all(buf)` behind one relaxed load.
+#[inline]
+pub fn write_all_at<W: Write>(site: &str, path: &Path, out: &mut W, buf: &[u8]) -> io::Result<()> {
+    if !enabled() {
+        return out.write_all(buf);
+    }
+    write_all_slow(site, path, out, buf)
+}
+
+fn write_all_slow<W: Write>(site: &str, path: &Path, out: &mut W, buf: &[u8]) -> io::Result<()> {
+    match decide(site, path) {
+        None => out.write_all(buf),
+        Some(FaultKind::Error(kind)) => Err(injected_error(kind, site)),
+        Some(FaultKind::ShortWrite(n)) => {
+            let n = n.min(buf.len());
+            out.write_all(&buf[..n])?;
+            let _ = out.flush();
+            Err(io::Error::other(format!(
+                "injected short write ({n} of {} bytes) at failpoint {site}",
+                buf.len()
+            )))
+        }
+        Some(FaultKind::Panic) => panic!("injected crash at failpoint {site}"),
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            out.write_all(buf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; serialize tests that arm it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn disabled_is_a_noop() {
+        let _g = guard();
+        assert!(!enabled());
+        assert!(check("t.nowhere").is_ok());
+        assert!(check_at("t.nowhere", Path::new("/x")).is_ok());
+        let mut sink = Vec::new();
+        write_all_at("t.nowhere", Path::new("/x"), &mut sink, b"abc").unwrap();
+        assert_eq!(sink, b"abc");
+    }
+
+    #[test]
+    fn error_triggers_with_nth_and_limit() {
+        let _g = guard();
+        arm("t.err", Policy::error().on_hit(2).limit(1));
+        assert!(check("t.err").is_ok(), "hit 1 is before @2");
+        let err = check("t.err").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(check("t.err").is_ok(), "limit 1 exhausted");
+        assert_eq!(
+            site_stats("t.err"),
+            Some(SiteStats {
+                hits: 3,
+                triggers: 1
+            })
+        );
+        disarm_all();
+    }
+
+    #[test]
+    fn disk_full_reports_storage_full() {
+        let _g = guard();
+        arm("t.full", Policy::disk_full().once());
+        let err = check("t.full").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        disarm_all();
+    }
+
+    #[test]
+    fn path_filter_scopes_the_fault() {
+        let _g = guard();
+        arm("t.path", Policy::error().when_path_contains("/dsa/"));
+        assert!(check_at("t.path", Path::new("/data/dsb/wal.log")).is_ok());
+        assert!(check("t.path").is_ok(), "no path never matches a filter");
+        assert!(check_at("t.path", Path::new("/data/dsa/wal.log")).is_err());
+        // Hits count only matching paths.
+        assert_eq!(site_stats("t.path").unwrap().hits, 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn short_write_tears_the_payload() {
+        let _g = guard();
+        arm("t.short", Policy::short_write(3).once());
+        let mut sink = Vec::new();
+        let err = write_all_at("t.short", Path::new("/x"), &mut sink, b"abcdef").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(sink, b"abc", "exactly the torn prefix reached the sink");
+        // Next write goes through untouched.
+        write_all_at("t.short", Path::new("/x"), &mut sink, b"ghi").unwrap();
+        assert_eq!(sink, b"abcghi");
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_policy_panics_with_a_recognizable_message() {
+        let _g = guard();
+        arm("t.crash", Policy::crash().once());
+        let result = std::panic::catch_unwind(|| check("t.crash"));
+        let payload = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(payload.contains("injected crash"), "{payload}");
+        disarm_all();
+    }
+
+    #[test]
+    fn injection_is_counted() {
+        let _g = guard();
+        let before = injected_total();
+        arm("t.count", Policy::error().limit(2));
+        let _ = check("t.count");
+        let _ = check("t.count");
+        let _ = check("t.count");
+        assert_eq!(injected_total() - before, 2);
+        disarm_all();
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let _g = guard();
+        let n = arm_spec(
+            "a.site=error@3#2;b.site=short:8~/dsa/;c.site=delay:5;d.site=full%0.5;e.site=panic",
+        )
+        .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(
+            armed_sites(),
+            vec!["a.site", "b.site", "c.site", "d.site", "e.site"]
+        );
+        // a.site: fires on hits 3 and 4 only.
+        assert!(check("a.site").is_ok());
+        assert!(check("a.site").is_ok());
+        assert!(check("a.site").is_err());
+        assert!(check("a.site").is_err());
+        assert!(check("a.site").is_ok());
+        // b.site: path-filtered short write.
+        let mut sink = Vec::new();
+        assert!(write_all_at("b.site", Path::new("/data/dsb/f"), &mut sink, b"xyz").is_ok());
+        assert!(
+            write_all_at("b.site", Path::new("/data/dsa/f"), &mut sink, b"0123456789").is_err()
+        );
+        // c.site: delay proceeds.
+        assert!(check("c.site").is_ok());
+        disarm_all();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = guard();
+        assert!(arm_spec("no-equals").is_err());
+        assert!(arm_spec("=error").is_err());
+        assert!(arm_spec("s=explode").is_err());
+        assert!(arm_spec("s=short:xyz").is_err());
+        assert!(arm_spec("s=error@zero").is_err());
+        assert!(arm_spec("s=error%many").is_err());
+        assert!(armed_sites().is_empty(), "nothing armed by rejected specs");
+    }
+
+    #[test]
+    fn probabilistic_triggering_is_seed_deterministic() {
+        let _g = guard();
+        let schedule = |seed: u64| -> Vec<bool> {
+            set_seed(seed);
+            arm("t.prob", Policy::error().with_probability(0.5));
+            let fired: Vec<bool> = (0..32).map(|_| check("t.prob").is_err()).collect();
+            disarm("t.prob");
+            fired
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        let c = schedule(43);
+        assert_eq!(a, b, "same seed, same fault schedule");
+        assert!(a.iter().any(|f| *f) && a.iter().any(|f| !*f));
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn disarm_clears_the_enabled_gate() {
+        let _g = guard();
+        arm("t.gate", Policy::error());
+        assert!(enabled());
+        disarm("t.gate");
+        assert!(!enabled());
+    }
+}

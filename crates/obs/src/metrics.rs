@@ -268,6 +268,10 @@ pub mod counters {
         SERVE_ANONYMIZE_JOBS => ("serve.anonymize_jobs", "Anonymization jobs executed by the worker pool");
         SERVE_APPEND_JOBS => ("serve.append_jobs", "Incremental append jobs executed by the worker pool");
         SERVE_JOBS_REJECTED => ("serve.jobs_rejected", "Jobs rejected by backpressure (full per-dataset queue)");
+        SERVE_JOB_RETRIES => ("serve.job_retries", "Write operations retried after a transient store error");
+        SERVE_DATASETS_DEGRADED => ("serve.datasets_degraded", "Datasets flipped to degraded read-only mode by persistent write failures");
+        // --- faults (the `disassoc-faults` failpoint registry) ------------
+        FAULTS_INJECTED => ("faults.injected", "Faults injected by armed failpoints (errors, torn writes, crashes, delays)");
     }
 }
 

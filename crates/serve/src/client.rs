@@ -70,6 +70,85 @@ pub fn post(addr: SocketAddr, target: &str, body: &[u8]) -> std::io::Result<Clie
     request(addr, "POST", target, body)
 }
 
+/// Client-side retry policy for 503 responses: capped exponential backoff
+/// honouring the server's `Retry-After` hint, with a jitter-free
+/// deterministic schedule (the same policy and responses always produce the
+/// same delays).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay, including `Retry-After` hints.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry_index` (0-based): the larger of
+    /// the deterministic exponential step and the server's `Retry-After`
+    /// hint, capped at `max_delay`.
+    pub fn delay(&self, retry_index: u32, retry_after: Option<Duration>) -> Duration {
+        let backoff =
+            crate::retry::capped_exponential(self.base_delay, self.max_delay, retry_index);
+        backoff
+            .max(retry_after.unwrap_or(Duration::ZERO))
+            .min(self.max_delay)
+    }
+}
+
+/// A response's `Retry-After` header as a duration (delta-seconds form
+/// only, which is what the server emits).
+pub fn retry_after(response: &ClientResponse) -> Option<Duration> {
+    response
+        .header("Retry-After")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// Like [`request`], but on a 503 the client backs off per `policy`
+/// (honouring `Retry-After`) and retries, surfacing the last response once
+/// attempts are exhausted.  Transport errors are not retried — the caller
+/// cannot tell whether the request took effect.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    let mut retry_index = 0u32;
+    loop {
+        let response = request(addr, method, target, body)?;
+        if response.status != 503 || retry_index + 1 >= policy.max_attempts.max(1) {
+            return Ok(response);
+        }
+        let hint = retry_after(&response);
+        std::thread::sleep(policy.delay(retry_index, hint));
+        retry_index += 1;
+    }
+}
+
+/// Convenience retrying `POST` (see [`request_with_retry`]).
+pub fn post_with_retry(
+    addr: SocketAddr,
+    target: &str,
+    body: &[u8],
+    policy: &RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    request_with_retry(addr, "POST", target, body, policy)
+}
+
 fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
     let header_end = raw
@@ -94,6 +173,117 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_schedule_is_deterministic_capped_and_honours_retry_after() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        };
+        // Jitter-free exponential: 50, 100, 200, 400ms...
+        let plain: Vec<u64> = (0..4)
+            .map(|i| policy.delay(i, None).as_millis() as u64)
+            .collect();
+        assert_eq!(plain, vec![50, 100, 200, 400]);
+        // The same inputs always produce the same schedule.
+        assert_eq!(policy.delay(2, None), policy.delay(2, None));
+        // A Retry-After hint wins when it is longer than the backoff...
+        assert_eq!(
+            policy.delay(0, Some(Duration::from_secs(1))),
+            Duration::from_secs(1)
+        );
+        // ...but never exceeds the cap.
+        assert_eq!(
+            policy.delay(0, Some(Duration::from_secs(3600))),
+            Duration::from_secs(2)
+        );
+        // And a short hint does not shrink the exponential step.
+        assert_eq!(
+            policy.delay(3, Some(Duration::from_millis(1))),
+            Duration::from_millis(400)
+        );
+    }
+
+    #[test]
+    fn retry_after_header_parses_delta_seconds_only() {
+        let mk = |headers: &str| ClientResponse {
+            status: 503,
+            headers: headers.to_owned(),
+            body: Vec::new(),
+        };
+        assert_eq!(
+            retry_after(&mk("Retry-After: 7")),
+            Some(Duration::from_secs(7))
+        );
+        assert_eq!(
+            retry_after(&mk("retry-after:  2 ")),
+            Some(Duration::from_secs(2))
+        );
+        assert_eq!(retry_after(&mk("Retry-After: soon")), None);
+        assert_eq!(retry_after(&mk("Content-Length: 0")), None);
+    }
+
+    /// A fake one-shot server: answers 503 + `Retry-After: 0` for the first
+    /// `busy_responses` connections, then 200.
+    fn fake_flaky_server(busy_responses: usize) -> (SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0usize;
+            loop {
+                let (mut conn, _) = listener.accept().unwrap();
+                // Read the full request head (the body is empty) before
+                // replying, so closing the socket cannot RST unread bytes.
+                let mut head = Vec::new();
+                let mut buf = [0u8; 1024];
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => head.extend_from_slice(&buf[..n]),
+                    }
+                }
+                let reply = if served < busy_responses {
+                    "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+                } else {
+                    "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok"
+                };
+                conn.write_all(reply.as_bytes()).unwrap();
+                drop(conn);
+                served += 1;
+                if served > busy_responses {
+                    return served;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_with_retry_rides_out_503s() {
+        let (addr, server) = fake_flaky_server(2);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let resp = request_with_retry(addr, "GET", "/healthz", b"", &policy).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(server.join().unwrap(), 3, "two 503s then the 200");
+    }
+
+    #[test]
+    fn request_with_retry_surfaces_the_last_503_when_exhausted() {
+        let (addr, server) = fake_flaky_server(usize::MAX);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        let resp = request_with_retry(addr, "GET", "/healthz", b"", &policy).unwrap();
+        assert_eq!(resp.status, 503);
+        drop(server); // the listener thread blocks on accept; leave it to the harness
+    }
 
     #[test]
     fn parses_a_response() {

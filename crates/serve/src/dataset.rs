@@ -43,6 +43,7 @@ pub struct DatasetHandle {
     store: Mutex<Option<Store>>,
     publication: Mutex<Option<ChunkDir>>,
     pending_jobs: AtomicUsize,
+    degraded: Mutex<Option<String>>,
 }
 
 impl DatasetHandle {
@@ -53,6 +54,7 @@ impl DatasetHandle {
             store: Mutex::new(None),
             publication: Mutex::new(None),
             pending_jobs: AtomicUsize::new(0),
+            degraded: Mutex::new(None),
         }
     }
 
@@ -99,6 +101,31 @@ impl DatasetHandle {
     /// Releases a job slot claimed by [`try_begin_job`](Self::try_begin_job).
     pub fn end_job(&self) {
         self.pending_jobs.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Flips the dataset to degraded read-only mode after a persistent
+    /// write failure.  Returns `true` when this call made the transition
+    /// (so the caller can count it exactly once); the first reason sticks.
+    /// Degraded mode lasts until the daemon restarts: the cause (a full
+    /// disk, a sick device) needs operator attention, and reads — which
+    /// keep serving the last complete publication — are unaffected.
+    pub fn degrade(&self, reason: &str) -> bool {
+        let mut guard = lock_unpoisoned(&self.degraded);
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(reason.to_owned());
+        true
+    }
+
+    /// The degradation reason, or `None` while the dataset accepts writes.
+    pub fn degraded_reason(&self) -> Option<String> {
+        lock_unpoisoned(&self.degraded).clone()
+    }
+
+    /// Whether the dataset is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        lock_unpoisoned(&self.degraded).is_some()
     }
 
     /// Runs `f` with the dataset's store, opening (and creating) it on

@@ -21,6 +21,16 @@ pub enum ServeError {
         /// Suggested client back-off, seconds (`Retry-After`).
         retry_after_seconds: u64,
     },
+    /// The dataset is in degraded read-only mode after persistent write
+    /// failures → 503 for writes (reads are unaffected and never raise
+    /// this).  Carries a `Retry-After` since the condition may clear on
+    /// restart after operator intervention.
+    Degraded {
+        /// The dataset flipped to read-only.
+        dataset: String,
+        /// Why it was degraded (the first persistent failure).
+        reason: String,
+    },
     /// Anything else → 500 (the body carries the rendered cause chain).
     Internal(String),
 }
@@ -36,6 +46,11 @@ impl ServeError {
                 retry_after_seconds,
             } => Response::error(503, "busy: the dataset's job queue is full")
                 .with_header("Retry-After", retry_after_seconds.to_string()),
+            ServeError::Degraded { dataset, reason } => Response::error(
+                503,
+                &format!("dataset {dataset:?} is degraded to read-only: {reason}"),
+            )
+            .with_header("Retry-After", "30"),
             ServeError::Internal(msg) => Response::error(500, &msg),
         }
     }
@@ -48,6 +63,9 @@ impl std::fmt::Display for ServeError {
             ServeError::NotFound(m) => write!(f, "not found: {m}"),
             ServeError::Conflict(m) => write!(f, "conflict: {m}"),
             ServeError::Busy { .. } => write!(f, "busy"),
+            ServeError::Degraded { dataset, reason } => {
+                write!(f, "dataset {dataset:?} degraded to read-only: {reason}")
+            }
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -115,6 +133,17 @@ mod tests {
             .extra_headers
             .iter()
             .any(|(k, v)| *k == "Retry-After" && v == "2"));
+        let degraded = ServeError::Degraded {
+            dataset: "d".into(),
+            reason: "disk full".into(),
+        }
+        .into_response();
+        assert_eq!(degraded.status, 503);
+        assert!(degraded
+            .extra_headers
+            .iter()
+            .any(|(k, _)| *k == "Retry-After"));
+        assert!(String::from_utf8_lossy(&degraded.body).contains("read-only"));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod dataset;
 mod error;
 pub mod http;
 pub mod jobs;
+pub mod retry;
 mod server;
 pub mod signal;
 

@@ -26,6 +26,7 @@ use crate::dataset::{DatasetHandle, Registry};
 use crate::error::ServeError;
 use crate::http::{self, Request, Response};
 use crate::jobs::{JobSubmitter, WorkerPool};
+use crate::retry::{self, RetrySchedule};
 use crate::signal;
 use disassoc_obs::metrics::{self, counters};
 use disassociation::pipeline::{ChunkFileStats, JsonChunksSink, MultiSink};
@@ -53,6 +54,10 @@ pub struct ServeConfig {
     /// store-scan default, so served publications diff clean against
     /// `disassoc anonymize --store`).
     pub batch_size: usize,
+    /// How long a connection thread waits for its job's reply before giving
+    /// up with a 504 (the job itself keeps running to completion) — the
+    /// per-job wall-clock timeout.
+    pub job_reply_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,13 +70,10 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_connections: 32,
             batch_size: 8192,
+            job_reply_timeout: Duration::from_secs(600),
         }
     }
 }
-
-/// How long a connection thread waits for its job's reply before giving up
-/// with a 504 (the job itself keeps running to completion).
-const JOB_REPLY_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// How often the accept loop re-checks the shutdown flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
@@ -285,11 +287,23 @@ fn obj(fields: Vec<(&str, Value)>) -> String {
 }
 
 fn healthz(state: &Arc<State>) -> Response {
+    let datasets = state.registry.list();
+    let degraded: Vec<Value> = datasets
+        .iter()
+        .filter(|h| h.is_degraded())
+        .map(|h| Value::Str(h.name().to_owned()))
+        .collect();
+    let status = if degraded.is_empty() {
+        "ok"
+    } else {
+        "degraded"
+    };
     Response::json(
         200,
         obj(vec![
-            ("status", Value::Str("ok".to_owned())),
-            ("datasets", Value::Int(state.registry.list().len() as i128)),
+            ("status", Value::Str(status.to_owned())),
+            ("datasets", Value::Int(datasets.len() as i128)),
+            ("degraded", Value::Array(degraded)),
             ("draining", Value::Bool(state.stopping())),
         ]),
     )
@@ -313,6 +327,7 @@ fn dataset_summary(handle: &DatasetHandle) -> Value {
             "published".to_owned(),
             Value::Bool(handle.publication_path().is_file()),
         ),
+        ("degraded".to_owned(), Value::Bool(handle.is_degraded())),
     ])
 }
 
@@ -363,12 +378,19 @@ fn parse_records(body: &[u8]) -> Result<Vec<Record>, ServeError> {
 fn ingest(state: &Arc<State>, name: &str, body: &[u8]) -> Result<Response, ServeError> {
     let records = parse_records(body)?;
     let handle = state.registry.get_or_create(name)?;
-    let total = handle.with_store(|store| {
-        // `append_batch` returns only after the records are in the WAL with
-        // the OS buffers flushed: once the 200 goes out, a crash — even
-        // kill -9 — cannot lose them.
-        store.append_batch(&records)?;
-        Ok(store.len())
+    retry::require_writable(&handle)?;
+    // Retrying an append is safe: a failed `append_batch` rolls the WAL
+    // back to the last known-good length (or poisons it), so a retry can
+    // never duplicate records.  Persistent failure degrades the dataset to
+    // read-only instead of letting ENOSPC take the daemon down.
+    let total = retry::with_write_retries(&handle, "ingest", &RetrySchedule::default(), || {
+        handle.with_store(|store| {
+            // `append_batch` returns only after the records are in the WAL
+            // with the OS buffers flushed: once the 200 goes out, a crash —
+            // even kill -9 — cannot lose them.
+            store.append_batch(&records)?;
+            Ok(store.len())
+        })
     })?;
     counters::SERVE_INGESTED_RECORDS.add(records.len() as u64);
     Ok(Response::json(
@@ -457,7 +479,7 @@ fn run_job(
             retry_after_seconds: 1,
         });
     }
-    match reply_rx.recv_timeout(JOB_REPLY_TIMEOUT) {
+    match reply_rx.recv_timeout(state.config.job_reply_timeout) {
         Ok(response) => Ok(response),
         Err(mpsc::RecvTimeoutError::Timeout) => Ok(Response::error(
             504,
@@ -476,10 +498,16 @@ fn anonymize(state: &Arc<State>, name: &str, request: &Request) -> Result<Respon
     // an empty dataset), mirroring ingest-then-anonymize without ordering
     // pickiness in clients.
     let handle = state.registry.get_or_create(name)?;
+    retry::require_writable(&handle)?;
     let dataset = name.to_owned();
     run_job(state, handle, move |h| {
         counters::SERVE_ANONYMIZE_JOBS.inc();
-        anonymize_job(h, &dataset, &config, batch_size)
+        // A full re-anonymization is idempotent (the chunk dir commit is
+        // atomic and byte-identical stages are skipped), so transient store
+        // errors get the full retry schedule before the dataset degrades.
+        retry::with_write_retries(h, "anonymize", &RetrySchedule::default(), || {
+            anonymize_job(h, &dataset, &config, batch_size)
+        })
     })
 }
 
@@ -561,17 +589,24 @@ fn append(state: &Arc<State>, name: &str, request: &Request) -> Result<Response,
         ));
     }
     let handle = require_dataset(state, name)?;
+    retry::require_writable(&handle)?;
     let dataset = name.to_owned();
     run_job(state, handle, move |h| {
         counters::SERVE_APPEND_JOBS.inc();
-        append_job(
-            h,
-            &dataset,
-            &config,
-            batch_size,
-            max_dirty_fraction,
-            &records,
-        )
+        // Appends are NOT retried: the job persists records mid-way, so a
+        // re-run after a partial failure could duplicate them.  A transient
+        // failure here still degrades the dataset rather than being
+        // surfaced as a naked 500 from a daemon that will keep failing.
+        retry::with_write_retries(h, "append", &RetrySchedule::none(), || {
+            append_job(
+                h,
+                &dataset,
+                &config,
+                batch_size,
+                max_dirty_fraction,
+                &records,
+            )
+        })
     })
 }
 

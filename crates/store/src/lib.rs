@@ -44,6 +44,7 @@
 
 pub mod compact;
 pub mod encode;
+pub mod failpoints;
 pub mod manifest;
 pub mod publish;
 pub mod scan;
@@ -334,6 +335,10 @@ impl Store {
         }
         let meta = writer.finish()?;
         let bytes = std::fs::metadata(&path)?.len();
+        // The spill commit window: the sealed segment exists on disk but the
+        // manifest does not reference it yet — a crash here must leave an
+        // orphan, never a half-adopted segment.
+        disassoc_faults::check_at(failpoints::SPILL_COMMIT, &self.dir)?;
         // Build and commit the successor manifest before touching any
         // in-memory state: if the commit fails, the store still agrees with
         // disk (memtable + WAL intact, the new segment file an orphan) and a
@@ -372,6 +377,10 @@ impl Store {
         obs_counters::STORE_COMPACTION_BYTES_READ.add(stats.bytes_read);
         obs_counters::STORE_COMPACTION_BYTES_WRITTEN.add(stats.bytes_written);
         if stats.merges > 0 {
+            // The compaction commit window: merged segments written, the
+            // manifest swap still pending — the crash-atomicity regression
+            // point (neither loss nor double-counting is tolerated).
+            disassoc_faults::check_at(failpoints::COMPACT_COMMIT, &self.dir)?;
             // Commit first, adopt second: an error anywhere leaves the
             // in-memory state agreeing with the on-disk state (merge outputs
             // not yet committed become orphans, removed on the next open).

@@ -8,7 +8,8 @@
 //! directory but not named by the manifest are orphans of a crashed spill or
 //! compaction and are deleted on open.
 
-use crate::{Result, StoreError};
+use crate::{failpoints, Result, StoreError};
+use disassoc_faults as faults;
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::path::{Path, PathBuf};
@@ -103,8 +104,12 @@ impl Manifest {
             file: tmp.display().to_string(),
             message: format!("manifest serialization failed: {e}"),
         })?;
-        std::fs::write(&tmp, &bytes)?;
-        File::open(&tmp)?.sync_all()?;
+        let mut file = File::create(&tmp)?;
+        faults::write_all_at(failpoints::MANIFEST_WRITE, &tmp, &mut file, &bytes)?;
+        faults::check_at(failpoints::MANIFEST_SYNC, &tmp)?;
+        file.sync_all()?;
+        drop(file);
+        faults::check_at(failpoints::MANIFEST_RENAME, &final_path)?;
         std::fs::rename(&tmp, &final_path)?;
         // Persist the rename itself; not all platforms support fsync on a
         // directory handle, so failures here are non-fatal.
@@ -123,6 +128,7 @@ impl Manifest {
     /// manifest (orphans of a crashed spill/compaction). Returns how many
     /// were removed.
     pub fn remove_orphans(&self, dir: &Path) -> Result<usize> {
+        faults::check_at(failpoints::MANIFEST_GC, dir)?;
         let live: std::collections::BTreeSet<&str> =
             self.segments.iter().map(|s| s.file.as_str()).collect();
         let mut removed = 0;

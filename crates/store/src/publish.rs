@@ -20,7 +20,8 @@
 //! makes "clean chunks were not rewritten" directly observable from the
 //! file system.
 
-use crate::{Result, StoreError};
+use crate::{failpoints, Result, StoreError};
+use disassoc_faults as faults;
 use disassoc_obs::metrics::counters as obs_counters;
 use disassociation::model::DisassociatedDataset;
 use disassociation::{BatchOutput, ChunkSink, SinkError};
@@ -99,8 +100,12 @@ impl ChunkManifest {
             file: tmp.display().to_string(),
             message: format!("chunk manifest serialization failed: {e}"),
         })?;
-        std::fs::write(&tmp, &bytes)?;
-        File::open(&tmp)?.sync_all()?;
+        let mut file = File::create(&tmp)?;
+        faults::write_all_at(failpoints::PUBLISH_COMMIT_WRITE, &tmp, &mut file, &bytes)?;
+        faults::check_at(failpoints::PUBLISH_COMMIT_SYNC, &tmp)?;
+        file.sync_all()?;
+        drop(file);
+        faults::check_at(failpoints::PUBLISH_COMMIT_RENAME, &final_path)?;
         std::fs::rename(&tmp, &final_path)?;
         if let Ok(d) = File::open(dir) {
             let _ = d.sync_all();
@@ -285,8 +290,10 @@ impl ChunkDir {
             }
         }
         let path = self.dir.join(&file);
-        std::fs::write(&path, &bytes)?;
-        File::open(&path)?.sync_all()?;
+        let mut out = File::create(&path)?;
+        faults::write_all_at(failpoints::PUBLISH_STAGE_WRITE, &path, &mut out, &bytes)?;
+        faults::check_at(failpoints::PUBLISH_STAGE_SYNC, &path)?;
+        out.sync_all()?;
         obs_counters::STORE_CHUNKS_STAGED.inc();
         self.staged.retain(|s| s.batch_index != batch.batch_index);
         self.staged.push(ChunkEntry {
@@ -332,6 +339,7 @@ impl ChunkDir {
     /// manifest (orphans of a crashed publish).  Returns how many were
     /// removed.
     pub fn remove_orphans(&self) -> Result<usize> {
+        faults::check_at(failpoints::PUBLISH_GC, &self.dir)?;
         let live: std::collections::BTreeSet<&str> = self
             .manifest
             .batches

@@ -23,7 +23,8 @@
 //!   bit-flipped segment is rejected rather than mis-parsed.
 
 use crate::encode::{read_record, read_varint, write_record, write_varint, Crc32, CrcWriter};
-use crate::{Result, StoreError};
+use crate::{failpoints, Result, StoreError};
+use disassoc_faults as faults;
 use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -101,6 +102,7 @@ impl SegmentMeta {
 /// Writes a new segment file record by record.
 pub struct SegmentWriter {
     out: CrcWriter<BufWriter<File>>,
+    path: PathBuf,
     index_every: usize,
     index: Vec<(u64, u64)>,
     record_count: u64,
@@ -115,11 +117,13 @@ impl SegmentWriter {
     /// Creates `path` and writes the head magic.  `index_every` controls the
     /// sparse-index granularity (0 selects [`DEFAULT_INDEX_EVERY`]).
     pub fn create<P: AsRef<Path>>(path: P, index_every: usize) -> Result<Self> {
+        faults::check_at(failpoints::SEGMENT_CREATE, path.as_ref())?;
         let file = File::create(path.as_ref())?;
         let mut out = CrcWriter::new(BufWriter::new(file));
         out.write_all(SEGMENT_MAGIC)?;
         Ok(SegmentWriter {
             out,
+            path: path.as_ref().to_path_buf(),
             index_every: if index_every == 0 {
                 DEFAULT_INDEX_EVERY
             } else {
@@ -137,6 +141,7 @@ impl SegmentWriter {
 
     /// Appends one record.
     pub fn add(&mut self, record: &Record) -> Result<()> {
+        faults::check_at(failpoints::SEGMENT_WRITE, &self.path)?;
         if self.record_count.is_multiple_of(self.index_every as u64) {
             self.index.push((self.record_count, self.data_bytes));
         }
@@ -165,6 +170,7 @@ impl SegmentWriter {
 
     /// Writes the index and footer, fsyncs and returns the metadata.
     pub fn finish(mut self) -> Result<SegmentMeta> {
+        faults::check_at(failpoints::SEGMENT_FINISH, &self.path)?;
         let data_len = self.data_bytes;
         let index_start = self.out.bytes;
         for &(ordinal, offset) in &self.index {
@@ -194,6 +200,7 @@ impl SegmentWriter {
         inner.write_all(&crc.to_le_bytes())?;
         inner.write_all(SEGMENT_TAIL)?;
         inner.flush()?;
+        faults::check_at(failpoints::SEGMENT_SYNC, &self.path)?;
         inner.get_ref().sync_all()?;
         disassoc_obs::metrics::counters::STORE_SEGMENT_SEALS.inc();
         Ok(SegmentMeta {

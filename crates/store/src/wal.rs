@@ -25,10 +25,11 @@
 //! contract, silently mis-parsing it is not.
 
 use crate::encode::{read_record, write_record, write_varint, Crc32};
-use crate::{Result, StoreError};
+use crate::{failpoints, Result, StoreError};
+use disassoc_faults as faults;
 use disassoc_obs::metrics::counters as obs_counters;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use transact::Record;
 
@@ -101,7 +102,9 @@ impl Wal {
         let crc = Crc32::checksum(&entry[8..]);
         entry[..4].copy_from_slice(&len.to_le_bytes());
         entry[4..8].copy_from_slice(&crc.to_le_bytes());
-        if let Err(e) = self.file.write_all(&entry) {
+        if let Err(e) =
+            faults::write_all_at(failpoints::WAL_APPEND, &self.path, &mut self.file, &entry)
+        {
             if self.file.set_len(self.bytes).is_err() {
                 self.poisoned = true;
             }
@@ -115,6 +118,7 @@ impl Wal {
 
     /// Forces the log contents to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        faults::check_at(failpoints::WAL_SYNC, &self.path)?;
         self.file.sync_all()?;
         Ok(())
     }
@@ -136,6 +140,7 @@ impl Wal {
     /// replays the intact prefix and truncates the file to match.
     pub fn truncate(&mut self) -> Result<()> {
         let result = (|| -> Result<()> {
+            faults::check_at(failpoints::WAL_TRUNCATE, &self.path)?;
             self.file.set_len(0)?;
             self.file.sync_all()?;
             // Reopen in append mode so the write cursor returns to offset 0

@@ -388,3 +388,103 @@ mod append_fault_injection {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// PR 9: the same crash-mid-republish property, driven through the real
+/// I/O seam (`disassoc_faults` + `disassoc_store::failpoints`) instead of
+/// a panicking sink wrapper — the fault now fires inside `ChunkDir`'s own
+/// staging/commit code, underneath the pipeline.  Every armed policy is
+/// path-scoped to this test's temp directory, so these tests are safe to
+/// run in parallel with the rest of the binary.
+mod republish_seam_fault_injection {
+    use super::*;
+    use disassoc_faults as faults;
+    use disassoc_store::{failpoints, ChunkDir};
+    use disassociation::pipeline::DatasetSource;
+    use disassociation::{DisassociationConfig, IncrementalPipeline};
+
+    fn incremental_config() -> DisassociationConfig {
+        DisassociationConfig {
+            k: 3,
+            m: 2,
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    fn manifest_snapshot(chunks: &ChunkDir) -> Vec<(usize, String, u64)> {
+        chunks
+            .manifest()
+            .batches
+            .iter()
+            .map(|e| (e.batch_index, e.file.clone(), e.generation))
+            .collect()
+    }
+
+    /// Publishes a base set, appends, then fails the republish at `site`;
+    /// asserts the old publication stays visible and a retry lands the new
+    /// one.  Shared by the rename- and fsync-failure tests.
+    fn old_publication_survives_failure_at(site: &str, tag: &str) {
+        let dir = tmpdir(tag);
+        let scope = dir.to_string_lossy().into_owned();
+        let records = workload().records().to_vec();
+        let (base, delta) = records.split_at(240);
+
+        let mut pipeline = {
+            let mut source = DatasetSource::from_records(base, 48);
+            IncrementalPipeline::build(incremental_config(), &mut source).unwrap()
+        };
+        let mut chunks = ChunkDir::open(dir.join("chunks")).unwrap();
+        pipeline.publish_all(&mut chunks).unwrap();
+        let committed = manifest_snapshot(&chunks);
+        let committed_dataset = chunks.combined_dataset().unwrap().unwrap();
+
+        // Fail the republish inside the store layer's own write path.
+        pipeline.append(delta);
+        faults::arm(
+            site,
+            faults::Policy::error().once().when_path_contains(&scope),
+        );
+        let err = pipeline.publish_all(&mut chunks);
+        assert!(err.is_err(), "{site}: the injected failure must surface");
+        assert_eq!(faults::site_stats(site).unwrap().triggers, 1);
+        faults::disarm(site);
+
+        // A fresh open sees the complete old publication, unchanged.
+        drop(chunks);
+        let reopened = ChunkDir::open(dir.join("chunks")).unwrap();
+        assert_eq!(manifest_snapshot(&reopened), committed);
+        assert_eq!(
+            reopened.combined_dataset().unwrap().unwrap(),
+            committed_dataset,
+            "{site}: a failed republish must not change the visible publication"
+        );
+
+        // And the retry commits the full new set.
+        let mut recovered = reopened;
+        pipeline.publish_all(&mut recovered).unwrap();
+        assert_eq!(recovered.manifest().batches.len(), pipeline.batch_count());
+        let republished = recovered.combined_dataset().unwrap().unwrap();
+        assert_eq!(republished.total_records(), records.len());
+        assert!(disassociation::verify::verify_structure(&republished).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_manifest_rename_failure_keeps_the_old_publication() {
+        // The commit point itself: the atomic rename of the chunk manifest.
+        old_publication_survives_failure_at(
+            failpoints::PUBLISH_COMMIT_RENAME,
+            "republish_rename_fault",
+        );
+    }
+
+    #[test]
+    fn injected_stage_fsync_failure_keeps_the_old_publication() {
+        // Before the commit: fsync of a staged chunk file fails (EIO-style),
+        // so nothing must ever reach the manifest.
+        old_publication_survives_failure_at(
+            failpoints::PUBLISH_STAGE_SYNC,
+            "republish_fsync_fault",
+        );
+    }
+}
