@@ -242,6 +242,7 @@ pub fn bench_core(scale: usize) -> ExperimentReport {
 /// `*_total_s` points compare the two end-to-end runs.
 fn overhead_series(disabled_total_s: f64, enabled_total_s: f64) -> Series {
     use std::hint::black_box;
+    // lint:allow(obs-name, "calibration scratch counter local to the overhead probe; never registered or published")
     static CALIBRATION: disassoc_obs::metrics::Counter = disassoc_obs::metrics::Counter::new(
         "bench.calibration",
         "Scratch counter for the disabled-overhead measurement",

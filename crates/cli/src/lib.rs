@@ -613,6 +613,12 @@ impl Command {
 
     /// Executes the command, writing human-readable progress to `out`.
     pub fn run(&self, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+        // Failpoints arm from the environment for every subcommand so the
+        // torture harness (and operators rehearsing failures) can inject
+        // faults into real publication runs, not just the daemon; unset,
+        // this leaves the registry disabled.
+        disassoc_faults::arm_from_env()
+            .map_err(|e| CliError::Usage(format!("bad {}: {e}", disassoc_faults::ENV_VAR)))?;
         match self {
             Command::Help => {
                 writeln!(out, "{USAGE}")?;
@@ -714,7 +720,14 @@ impl Command {
                         return Err(e);
                     }
                 };
-                std::fs::rename(&partial_path, &chunks_path)?;
+                if let Err(e) =
+                    disassoc_store::publish::commit_flat_file(&partial_path, &chunks_path)
+                {
+                    std::fs::remove_file(&partial_path).ok();
+                    session.abort();
+                    return Err(e.into());
+                }
+                // lint:allow(panic, "stats are recorded on every Ok path of the run closure above")
                 let stats = stats.expect("a successful run records its stats");
                 writeln!(
                     out,
@@ -727,7 +740,7 @@ impl Command {
                 )?;
                 if !stats.refine_converged {
                     disassoc_obs::warn(
-                        "refine.pass_cap",
+                        disassoc_obs::names::WARN_REFINE_PASS_CAP,
                         &format!(
                             "refining hit its pass limit after {} passes without converging; \
                              the publication is valid but further joint clusters may have been possible",
@@ -762,6 +775,7 @@ impl Command {
                 };
                 config.validate()?;
                 let session = obs.start()?;
+                // lint:allow(nondeterminism, "elapsed-seconds reporting on stdout; never reaches published bytes")
                 let t0 = std::time::Instant::now();
                 let mut st = open_existing_store(store)?;
                 let size = if *batch_size == 0 {
@@ -834,12 +848,15 @@ impl Command {
                         pipeline.publish_all(&mut sink)?;
                         Ok(())
                     })();
+                    let result = result.and_then(|()| {
+                        disassoc_store::publish::commit_flat_file(&partial_path, &chunks_path)
+                            .map_err(CliError::from)
+                    });
                     if let Err(e) = result {
                         std::fs::remove_file(&partial_path).ok();
                         session.abort();
                         return Err(e);
                     }
-                    std::fs::rename(&partial_path, &chunks_path)?;
                     writeln!(out, "published chunks: {}", chunks_path.display())?;
                 }
                 session.finish(out)?;
@@ -854,6 +871,7 @@ impl Command {
                 obs,
             } => {
                 let session = obs.start()?;
+                // lint:allow(nondeterminism, "elapsed-seconds reporting on stdout; never reaches published bytes")
                 let t0 = std::time::Instant::now();
                 let mut st = Store::open(
                     store,
@@ -864,7 +882,7 @@ impl Command {
                 )?;
                 if st.recovered_records() > 0 {
                     disassoc_obs::warn(
-                        "store.wal_recovery",
+                        disassoc_obs::names::WARN_STORE_WAL_RECOVERY,
                         &format!(
                             "recovered {} unsealed records from the write-ahead log",
                             st.recovered_records()
@@ -1053,12 +1071,6 @@ impl Command {
                     },
                     job_reply_timeout: std::time::Duration::from_millis((*job_timeout_ms).max(1)),
                 };
-                // Failpoints arm from the environment so the torture harness
-                // (and operators rehearsing failures) can inject faults into
-                // a real daemon; unset, this leaves the registry disabled.
-                disassoc_faults::arm_from_env().map_err(|e| {
-                    CliError::Usage(format!("bad {}: {e}", disassoc_faults::ENV_VAR))
-                })?;
                 if let Some(path) = trace {
                     disassoc_obs::trace::init_file(path)?;
                 }

@@ -72,6 +72,7 @@ pub fn is_km_anonymous(subrecords: &[Record], k: usize, m: usize) -> bool {
         let mut supports = vec![0u32; domain.len()];
         for r in subrecords {
             for t in r.iter() {
+                // lint:allow(panic, "the domain was built by interning every term of these records")
                 supports[domain.dense_of(t).expect("term interned") as usize] += 1;
             }
         }
@@ -80,6 +81,7 @@ pub fn is_km_anonymous(subrecords: &[Record], k: usize, m: usize) -> bool {
     let mut counts = ComboCountMap::default();
     for r in subrecords {
         scratch.clear();
+        // lint:allow(panic, "the domain was built by interning every term of these records")
         scratch.extend(r.iter().map(|t| domain.dense_of(t).expect("term interned")));
         for_each_packed_subset(&scratch, m, |combo| {
             *counts.entry(combo).or_insert(0) += 1;

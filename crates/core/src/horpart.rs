@@ -263,6 +263,7 @@ pub fn merge_small_clusters_with_map(
             map.push(merged.len() - 1);
             merged
                 .last_mut()
+                // lint:allow(panic, "guarded by the !merged.is_empty() branch above")
                 .expect("checked non-empty")
                 .extend(cluster);
         } else {

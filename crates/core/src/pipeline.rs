@@ -829,7 +829,7 @@ fn deliver(
     obs_histograms::CORE_BATCH_MICROS.record((batch_seconds * 1e6) as u64);
     if obs_trace::enabled() {
         obs_trace::event(
-            "pipeline.batch",
+            disassoc_obs::names::EVENT_PIPELINE_BATCH,
             &[
                 ("batch", Attr::U64(batch.batch_index as u64)),
                 ("records", Attr::U64(records as u64)),
@@ -952,6 +952,7 @@ fn run_parallel(
         // unblocks every worker (recv/send fail) before the scope joins.
         drive(source, sink, job_tx, done_rx, threads)
     })
+    // lint:allow(panic, "re-raises a worker panic on the driver thread by design")
     .expect("pipeline worker panicked")
 }
 
@@ -995,6 +996,7 @@ fn drive(
                     offset += job.len_of();
                     submitted += 1;
                     in_flight += 1;
+                    // lint:allow(panic, "workers hold the receiver for the scope lifetime; a worker panic is re-raised at the scope join")
                     job_tx.send(job).expect("worker pool unavailable");
                 }
             }
@@ -1004,6 +1006,7 @@ fn drive(
         }
         let done = match done_rx
             .recv()
+            // lint:allow(panic, "workers hold the sender while jobs are in flight; a worker panic is re-raised at the scope join")
             .expect("a worker exited while batches were in flight")
         {
             Ok(done) => done,

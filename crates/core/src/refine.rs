@@ -337,6 +337,7 @@ pub fn refine<R: Rng + ?Sized>(
         let mut iter = states.into_iter().peekable();
         while let Some(current) = iter.next() {
             if iter.peek().is_some() {
+                // lint:allow(panic, "peek returned Some on the line above")
                 let next = iter.next().expect("peeked");
                 match try_join(current, next, k, m, options, rng, &mut scratch) {
                     JoinOutcome::Joined(state) => {
@@ -710,6 +711,7 @@ pub fn refine_reference<R: Rng + ?Sized>(
         let mut iter = nodes.into_iter().peekable();
         while let Some(current) = iter.next() {
             if iter.peek().is_some() {
+                // lint:allow(panic, "peek returned Some on the line above")
                 let next = iter.next().expect("peeked");
                 match try_join_reference(current, next, k, m, options, rng) {
                     ReferenceJoinOutcome::Joined(node) => {

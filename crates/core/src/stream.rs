@@ -52,7 +52,9 @@ where
         .run()
     {
         Ok(summary) => summary,
+        // lint:allow(panic, "documented # Panics contract of the deprecated shim")
         Err(Error::Config(e)) => panic!("invalid disassociation configuration: {e}"),
+        // lint:allow(panic, "IterSource and the collect sinks are infallible by construction")
         Err(other) => unreachable!("infallible source and sink failed: {other}"),
     }
 }
@@ -84,7 +86,9 @@ where
         .run()
     {
         Ok(summary) => summary,
+        // lint:allow(panic, "documented # Panics contract of the deprecated shim")
         Err(Error::Config(e)) => panic!("invalid disassociation configuration: {e}"),
+        // lint:allow(panic, "IterSource and the collect sinks are infallible by construction")
         Err(other) => unreachable!("infallible source and sink failed: {other}"),
     };
     (sink.into_output(), summary)

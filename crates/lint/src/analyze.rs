@@ -1,0 +1,340 @@
+//! Token-stream structure: function extents, `#[cfg(test)]` regions, and
+//! `lint:allow` annotations.
+//!
+//! The linter never parses Rust into an AST; the three structural facts the
+//! rules need are recoverable from the token stream with brace matching:
+//!
+//! - **test regions** — any item under a `#[test]` or `#[cfg(test)]`
+//!   attribute (including whole `mod tests { .. }` blocks), so the panic
+//!   and nondeterminism policies apply to shipped code only;
+//! - **function extents** — the token range of each `fn` item body, the
+//!   granularity at which DL001 decides "this raw I/O call is covered by a
+//!   failpoint-seam consultation";
+//! - **annotations** — `// lint:allow(key, "reason")` comments, which
+//!   suppress a rule on their own line or, when alone on a line, on the
+//!   next token-bearing line.
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One parsed `lint:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// The rule key (`seam`, `panic`, ...) or rule id (`DL003`).
+    pub key: String,
+    /// The quoted justification; suppression requires it to be non-empty.
+    pub reason: String,
+    /// The source line the annotation applies to (resolved: the comment's
+    /// own line if code precedes it, otherwise the next line with tokens).
+    pub applies_to: u32,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Token-index ranges (inclusive start, exclusive end) of test items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token-index ranges of `fn` items, from the `fn` keyword through the
+    /// closing brace of the body.  Nested functions produce nested ranges.
+    pub fn_ranges: Vec<(usize, usize)>,
+    /// Parsed `lint:allow` annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+impl Structure {
+    /// True when token `i` is inside a `#[test]`/`#[cfg(test)]` item.
+    pub fn is_test_token(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= i && i < e)
+    }
+
+    /// The innermost `fn` item extent containing token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<(usize, usize)> {
+        self.fn_ranges
+            .iter()
+            .filter(|&&(s, e)| s <= i && i < e)
+            .min_by_key(|&&(s, e)| e - s)
+            .copied()
+    }
+
+    /// True when an annotation with `key` (or the rule id `id`) covers
+    /// `line` with a non-empty reason.
+    pub fn allowed(&self, key: &str, id: &str, line: u32) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.applies_to == line && !a.reason.is_empty() && (a.key == key || a.key == id))
+    }
+}
+
+/// Derives the structural facts for a lexed file.
+pub fn analyze(lexed: &Lexed) -> Structure {
+    let tokens = &lexed.tokens;
+    let mut st = Structure {
+        test_ranges: test_ranges(tokens),
+        fn_ranges: fn_ranges(tokens),
+        annotations: Vec::new(),
+    };
+    // Map each line to whether any token starts on it, so a solo-line
+    // annotation can resolve to the next token-bearing line.
+    let mut token_lines: BTreeMap<u32, u32> = BTreeMap::new();
+    for t in tokens {
+        token_lines.entry(t.line).or_insert(t.col);
+    }
+    for c in &lexed.comments {
+        if let Some(mut ann) = parse_annotation(c) {
+            let code_before = token_lines.get(&c.line).is_some_and(|&col| {
+                // Any token on the same line means the comment trails code.
+                col > 0
+            });
+            if !code_before {
+                if let Some((&next, _)) = token_lines.range(c.line + 1..).next() {
+                    ann.applies_to = next;
+                }
+            }
+            st.annotations.push(ann);
+        }
+    }
+    st
+}
+
+/// Parses `lint:allow(key, "reason")` out of a comment body.
+fn parse_annotation(c: &Comment) -> Option<Annotation> {
+    let text = c.text.trim().trim_start_matches('/').trim();
+    let rest = text.strip_prefix("lint:allow(")?;
+    let (key, rest) = rest.split_once([',', ')'])?;
+    let reason = rest
+        .split_once('"')
+        .and_then(|(_, r)| r.split_once('"'))
+        .map(|(reason, _)| reason.trim().to_string())
+        .unwrap_or_default();
+    Some(Annotation {
+        key: key.trim().to_string(),
+        reason,
+        applies_to: c.line,
+    })
+}
+
+/// Collects the token ranges of items marked `#[test]` or `#[cfg(test)]`.
+fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_punct(tokens, i, "#") || !is_punct(tokens, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        if !attr_is_test(&tokens[i + 2..attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = attr_end + 1;
+        while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => return out,
+            }
+        }
+        // The item extends to the first `;` at depth 0 or through its
+        // first top-level `{ .. }` block (fn, mod, impl, struct, ...).
+        let mut depth = 0i32;
+        let mut end = tokens.len();
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 && tokens[k].text == "}" {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push((attr_start, end));
+        i = end;
+    }
+    out
+}
+
+/// True when the attribute tokens (inside `#[ .. ]`) gate on `test`:
+/// `test`, `cfg(test)`, `cfg(all(test, ..))` — but not `cfg(not(test))`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    match attr.first() {
+        Some(t) if t.kind == TokenKind::Ident && t.text == "test" => attr.len() == 1,
+        Some(t) if t.kind == TokenKind::Ident && t.text == "cfg" => {
+            let mut not_depth: i32 = 0;
+            let mut in_not = false;
+            for (i, t) in attr.iter().enumerate().skip(1) {
+                match (t.kind, t.text.as_str()) {
+                    (TokenKind::Ident, "not") => {
+                        in_not = true;
+                    }
+                    (TokenKind::Punct, "(") if in_not => {
+                        in_not = false;
+                        not_depth += 1;
+                    }
+                    (TokenKind::Punct, "(") if not_depth > 0 => not_depth += 1,
+                    (TokenKind::Punct, ")") if not_depth > 0 => not_depth -= 1,
+                    (TokenKind::Ident, "test") if not_depth == 0 => {
+                        let _ = i;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Collects the token extent of every `fn` item with a body.
+fn fn_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || t.text != "fn" {
+            continue;
+        }
+        if tokens.get(i + 1).is_none_or(|n| n.kind != TokenKind::Ident) {
+            continue; // `Fn(..)` bounds lex as `Fn`, never bare `fn`.
+        }
+        // Find the body `{` at bracket/paren depth 0, or `;` (no body).
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut body_start = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(open) = body_start {
+            if let Some(close) = matching(tokens, open, "{", "}") {
+                out.push((i, close + 1));
+            }
+        }
+    }
+    out
+}
+
+fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold `open_text`).
+fn matching(tokens: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == open_text {
+                depth += 1;
+            } else if t.text == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let lexed = lex("fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }");
+        let st = analyze(&lexed);
+        assert_eq!(st.test_ranges.len(), 1);
+        let unwrap_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .unwrap();
+        assert!(st.is_test_token(unwrap_idx));
+        assert!(!st.is_test_token(0));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let lexed = lex("#[cfg(not(test))]\nfn live() { x.unwrap(); }");
+        let st = analyze(&lexed);
+        assert!(st.test_ranges.is_empty());
+    }
+
+    #[test]
+    fn test_attribute_marks_one_fn() {
+        let lexed = lex("#[test]\nfn t() { a(); }\nfn live() { b(); }");
+        let st = analyze(&lexed);
+        assert_eq!(st.test_ranges.len(), 1);
+        let b_idx = lexed.tokens.iter().position(|t| t.text == "b").unwrap();
+        assert!(!st.is_test_token(b_idx));
+    }
+
+    #[test]
+    fn fn_extents_nest_and_cover_bodies() {
+        let lexed = lex("fn outer() { fn inner() { x(); } y(); }");
+        let st = analyze(&lexed);
+        assert_eq!(st.fn_ranges.len(), 2);
+        let x_idx = lexed.tokens.iter().position(|t| t.text == "x").unwrap();
+        let (s, e) = st.enclosing_fn(x_idx).unwrap();
+        assert_eq!(lexed.tokens[s + 1].text, "inner");
+        assert!(e < lexed.tokens.len());
+    }
+
+    #[test]
+    fn trailing_annotation_applies_to_its_own_line() {
+        let lexed = lex("let t = now(); // lint:allow(nondeterminism, \"timing only\")");
+        let st = analyze(&lexed);
+        assert!(st.allowed("nondeterminism", "DL005", 1));
+    }
+
+    #[test]
+    fn solo_annotation_applies_to_next_code_line() {
+        let lexed = lex("// lint:allow(panic, \"infallible\")\n\nx.unwrap();");
+        let st = analyze(&lexed);
+        assert!(st.allowed("panic", "DL003", 3));
+        assert!(!st.allowed("panic", "DL003", 1));
+    }
+
+    #[test]
+    fn annotation_without_reason_does_not_suppress() {
+        let lexed = lex("// lint:allow(panic)\nx.unwrap();");
+        let st = analyze(&lexed);
+        assert!(!st.allowed("panic", "DL003", 2));
+    }
+
+    #[test]
+    fn rule_id_works_as_annotation_key() {
+        let lexed = lex("x.unwrap(); // lint:allow(DL003, \"checked above\")");
+        let st = analyze(&lexed);
+        assert!(st.allowed("panic", "DL003", 1));
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-parsed `lint.toml` configuration.
+//!
+//! The parser accepts the subset of TOML the workspace config actually
+//! uses — `[section]` headers, `key = "string"`, `key = true/false`, and
+//! (possibly multi-line) `key = ["a", "b"]` arrays, with `#` comments —
+//! and rejects everything else loudly.  Keeping the grammar this small is
+//! what lets the linter stay zero-dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// File name of the workspace lint configuration.
+pub const CONFIG_FILE: &str = "lint.toml";
+
+/// A configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    List(Vec<String>),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// One `[section]` of the config: key → value.
+pub type Section = BTreeMap<String, Value>;
+
+/// The parsed configuration: section name → section.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    sections: BTreeMap<String, Section>,
+}
+
+/// A configuration error with the offending line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml` (0 for file-level errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", CONFIG_FILE, self.message)
+        } else {
+            write!(f, "{}:{}: {}", CONFIG_FILE, self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Config {
+    /// Loads and parses `dir/lint.toml`.
+    pub fn load(dir: &Path) -> Result<Config, ConfigError> {
+        let path = dir.join(CONFIG_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        Config::parse(&text)
+    }
+
+    /// Parses configuration text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated [section] header"))?;
+                section = name.trim().to_string();
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| err(lineno, "expected `key = value` or `[section]`"))?;
+            if key.is_empty() {
+                return Err(err(lineno, "empty key"));
+            }
+            // Multi-line arrays: keep consuming lines until brackets close.
+            if value.starts_with('[') {
+                while !balanced(&value) {
+                    match lines.next() {
+                        Some((_, cont)) => {
+                            value.push(' ');
+                            value.push_str(strip_comment(cont).trim());
+                        }
+                        None => return Err(err(lineno, "unterminated array")),
+                    }
+                }
+            }
+            let parsed = parse_value(lineno, &value)?;
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, parsed);
+        }
+        Ok(cfg)
+    }
+
+    /// The named section, if present.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.get(name)
+    }
+
+    /// All section names, in sorted order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.keys().map(|s| s.as_str())
+    }
+
+    /// A string list under `section.key`; empty when absent.
+    pub fn list(&self, section: &str, key: &str) -> Vec<String> {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::List(v)) => v.clone(),
+            Some(Value::Str(s)) => vec![s.clone()],
+            _ => Vec::new(),
+        }
+    }
+
+    /// A boolean under `section.key`, defaulting to `default`.
+    pub fn flag(&self, section: &str, key: &str, default: bool) -> bool {
+        match self.sections.get(section).and_then(|s| s.get(key)) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn balanced(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(lineno: u32, value: &str) -> Result<Value, ConfigError> {
+    if value == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if value == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = value.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, "unterminated string"))?;
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        for item in split_items(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(lineno, item)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(lineno, "arrays may contain only strings")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(err(
+        lineno,
+        format!("unsupported value `{value}` (expected string, array, or bool)"),
+    ))
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_items(inner: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_arrays() {
+        let cfg = Config::parse(
+            "# header comment\n[workspace]\nroots = [\"crates\", \"tests\"]\n\n[DL003]\npaths = [\n  \"crates/core/src\", # inline comment\n  \"crates/store/src\",\n]\nenabled = true\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("workspace", "roots"), ["crates", "tests"]);
+        assert_eq!(
+            cfg.list("DL003", "paths"),
+            ["crates/core/src", "crates/store/src"]
+        );
+        assert!(cfg.flag("DL003", "enabled", false));
+        assert!(cfg.flag("DL999", "enabled", true));
+    }
+
+    #[test]
+    fn strings_may_contain_hashes_and_commas() {
+        let cfg =
+            Config::parse("[x]\na = \"value # not comment\"\nb = [\"p, q\", \"r\"]\n").unwrap();
+        assert_eq!(
+            cfg.section("x").unwrap().get("a"),
+            Some(&Value::Str("value # not comment".into()))
+        );
+        assert_eq!(cfg.list("x", "b"), ["p, q", "r"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Config::parse("[x]\nkey value\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = Config::parse("[x]\nkey = 17\n").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn unterminated_array_is_an_error() {
+        assert!(Config::parse("[x]\nk = [\"a\",\n\"b\"\n").is_err());
+    }
+}

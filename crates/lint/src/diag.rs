@@ -1,0 +1,153 @@
+//! Diagnostics: rustc-style text rendering and the `--json` machine form.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`DL001` ... `DL005`).
+    pub rule: &'static str,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// How to fix or legitimately suppress it.
+    pub help: String,
+}
+
+impl Finding {
+    /// Renders the finding in the `file:line:col: error[DLxxx]` form the
+    /// workspace CI log scrapers and editors expect.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        );
+        if !self.help.is_empty() {
+            let _ = write!(out, "\n  help: {}", self.help);
+        }
+        out
+    }
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of rules that ran.
+    pub rules_run: usize,
+}
+
+impl Report {
+    /// Sorts findings into the stable (file, line, col, rule) order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+    }
+
+    /// Serializes the report as the `--json` document.  Hand-rolled so the
+    /// linter needs no serde; the schema is pinned by `tests/rules.rs`.
+    pub fn to_json(&self, wall_seconds: f64) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"version\": 1,\n  \"rules_run\": {},\n  \"files_scanned\": {},\n  \"wall_seconds\": {:.3},\n  \"findings\": [",
+            self.rules_run, self.files_scanned, wall_seconds
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"help\": \"{}\"}}",
+                f.rule,
+                escape(&f.file),
+                f.line,
+                f.col,
+                escape(&f.message),
+                escape(&f.help)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "DL001",
+            file: "crates/cli/src/lib.rs".into(),
+            line: 717,
+            col: 17,
+            message: "raw `fs::rename` outside the failpoint seam".into(),
+            help: "route through `disassoc_store::failpoints`".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let r = finding().render();
+        assert!(r.starts_with("crates/cli/src/lib.rs:717:17: error[DL001]:"));
+        assert!(r.contains("help:"));
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut report = Report {
+            findings: vec![Finding {
+                message: "has \"quotes\" and\nnewline".into(),
+                ..finding()
+            }],
+            files_scanned: 3,
+            rules_run: 5,
+        };
+        report.sort();
+        let json = report.to_json(0.25);
+        assert!(json.contains("\"rules_run\": 5"));
+        assert!(json.contains("has \\\"quotes\\\" and\\nnewline"));
+        assert!(json.contains("\"wall_seconds\": 0.250"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = Report::default().to_json(0.0);
+        assert!(json.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,540 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The rules in this crate reason about *token* streams, never raw text, so
+//! a `fs::rename` inside a string literal, a doc example, or a comment can
+//! never trip a lint — the exact false positives the old CI shell greps
+//! could not avoid.  The lexer understands:
+//!
+//! - line (`//`) and nested block (`/* /* */ */`) comments, kept separately
+//!   because `// lint:allow(...)` annotations live in them;
+//! - string, raw string (`r#".."#`), byte string, and char literals;
+//! - the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! - identifiers (including raw `r#ident`), numbers, and punctuation, with
+//!   `::` fused into one token because every rule matches paths.
+//!
+//! It does **not** build an AST: rules that need structure (function
+//! extents, `#[cfg(test)]` regions) derive it from the token stream in
+//! [`crate::analyze`].
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `rename`, `r#async` → `async`).
+    Ident,
+    /// A string or byte-string literal; `text` holds the *inner* bytes,
+    /// escapes undecoded (registry names never contain escapes).
+    Str,
+    /// A char literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// A numeric literal (possibly split around `.`, which rules ignore).
+    Num,
+    /// Punctuation; one char per token except the fused `::`.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// A comment, kept for `lint:allow` annotation parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//`, `///`, or `/* */` framing.
+    pub text: String,
+}
+
+/// A lexed source file: code tokens plus the comments between them.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments.  Unterminated literals are closed
+/// at end of file rather than reported: the linter's job is invariants, not
+/// syntax — rustc owns real syntax errors.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        cur.bump();
+                        let mut text = String::new();
+                        while let Some(c) = cur.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            text.push(c);
+                            cur.bump();
+                        }
+                        out.comments.push(Comment { line, text });
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut depth = 1usize;
+                        let mut text = String::new();
+                        while depth > 0 {
+                            match cur.bump() {
+                                Some('*') if cur.peek() == Some('/') => {
+                                    cur.bump();
+                                    depth -= 1;
+                                    if depth > 0 {
+                                        text.push_str("*/");
+                                    }
+                                }
+                                Some('/') if cur.peek() == Some('*') => {
+                                    cur.bump();
+                                    depth += 1;
+                                    text.push_str("/*");
+                                }
+                                Some(c) => text.push(c),
+                                None => break,
+                            }
+                        }
+                        out.comments.push(Comment { line, text });
+                    }
+                    _ => out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "/".into(),
+                        line,
+                        col,
+                    }),
+                }
+            }
+            '"' => {
+                cur.bump();
+                let text = lex_quoted(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                cur.bump();
+                lex_tick(&mut cur, line, col, &mut out.tokens);
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // String-prefix forms: r".."/r#".."#, b"..", br#".."#, and
+                // the raw identifier r#ident.
+                let next = cur.peek();
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && (next == Some('"') || next == Some('#')) {
+                    let raw = text != "b";
+                    if next == Some('#') && !raw {
+                        // `b#` is not a literal prefix; emit the ident.
+                    } else if next == Some('#') {
+                        // Count hashes; `r#ident` (hash then ident start)
+                        // is a raw identifier, not a raw string.
+                        let mut hashes = 0usize;
+                        while cur.peek() == Some('#') {
+                            hashes += 1;
+                            cur.bump();
+                        }
+                        if cur.peek() == Some('"') {
+                            cur.bump();
+                            let value = lex_raw(&mut cur, hashes);
+                            out.tokens.push(Token {
+                                kind: TokenKind::Str,
+                                text: value,
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                        if hashes == 1 && cur.peek().is_some_and(is_ident_start) {
+                            let mut ident = String::new();
+                            while let Some(c) = cur.peek() {
+                                if is_ident_continue(c) {
+                                    ident.push(c);
+                                    cur.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                            out.tokens.push(Token {
+                                kind: TokenKind::Ident,
+                                text: ident,
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                        // Stray hashes: emit ident then hash puncts.
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident,
+                            text,
+                            line,
+                            col,
+                        });
+                        for _ in 0..hashes {
+                            out.tokens.push(Token {
+                                kind: TokenKind::Punct,
+                                text: "#".into(),
+                                line,
+                                col,
+                            });
+                        }
+                        continue;
+                    } else {
+                        cur.bump(); // the opening quote
+                        let value = if raw {
+                            lex_raw(&mut cur, 0)
+                        } else {
+                            lex_quoted(&mut cur)
+                        };
+                        out.tokens.push(Token {
+                            kind: TokenKind::Str,
+                            text: value,
+                            line,
+                            col,
+                        });
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            ':' => {
+                cur.bump();
+                if cur.peek() == Some(':') {
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "::".into(),
+                        line,
+                        col,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: ":".into(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"`-quoted body (opening quote already consumed), handling
+/// `\"` and `\\` escapes; returns the inner text with escapes undecoded.
+fn lex_quoted(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            c => text.push(c),
+        }
+    }
+    text
+}
+
+/// Consumes a raw-string body closed by `"` + `hashes` `#`s.
+fn lex_raw(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // A candidate close: need `hashes` hash marks.
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break 'outer;
+            }
+            text.push('"');
+            for _ in 0..seen {
+                text.push('#');
+            }
+            continue;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// Disambiguates `'` starts: lifetime (`'a`), char (`'a'`, `'\n'`), or a
+/// stray quote.  The opening `'` is already consumed.
+fn lex_tick(cur: &mut Cursor<'_>, line: u32, col: u32, tokens: &mut Vec<Token>) {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume `\`, the escape, then payload
+            // up to the closing quote (covers `'\u{1F600}'`).
+            let mut text = String::new();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: name,
+                    line,
+                    col,
+                });
+            } else {
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: name,
+                    line,
+                    col,
+                });
+            }
+        }
+        Some(c) => {
+            // Non-ident char literal like `'.'` or `' '`.
+            cur.bump();
+            let text = c.to_string();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+                col,
+            });
+        }
+        None => tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: "'".into(),
+            line,
+            col,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_paths_and_calls() {
+        let toks = kinds("std::fs::rename(a, b)?;");
+        assert_eq!(toks[0], (TokenKind::Ident, "std".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, "::".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "fs".into()));
+        assert_eq!(toks[4], (TokenKind::Ident, "rename".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_token_rules() {
+        let toks = kinds(r#"let x = "fs::rename inside a string";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "rename"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("fs::rename")));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lexed = lex("// lint:allow(seam, \"x\")\nfoo(); /* block\nspan */ bar();");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("lint:allow"));
+        assert_eq!(lexed.comments[1].line, 2);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["foo", "bar"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ x");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "x");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; let r#fn = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "quote \" inside"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn byte_and_plain_strings() {
+        let toks = kinds(r#"w.write(b"raw bytes"); s.push("text");"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "a \" b"; next"#);
+        assert_eq!(toks[3], (TokenKind::Str, "a \\\" b".into()));
+        assert_eq!(toks[5].1, "next");
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

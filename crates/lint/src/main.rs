@@ -1,0 +1,90 @@
+//! `disassoc-lint` — run the workspace invariant checker.
+//!
+//! ```text
+//! disassoc-lint [--root DIR] [--json] [--quiet]
+//! ```
+//!
+//! Exit codes follow the workspace CLI convention: `0` clean, `1`
+//! findings, `2` usage/configuration error.  A bench-style honesty line
+//! (rule count, files scanned, wall time) always goes to stderr so the
+//! cost of the lint gate stays visible in CI logs.
+
+use disassoc_lint::{lint_workspace, LintError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a directory argument")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: disassoc-lint [--root DIR] [--json] [--quiet]".into())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        json,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // lint:allow(nondeterminism, "honesty-line wall time only; diagnostics are time-independent")
+    let t0 = std::time::Instant::now();
+    let report = match lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e @ LintError::Config(_)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    if args.json {
+        print!("{}", report.to_json(wall));
+    } else if !args.quiet {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+    }
+    eprintln!(
+        "disassoc-lint: {} rules, {} files scanned, {} finding{} in {:.2}s",
+        report.rules_run,
+        report.files_scanned,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        wall
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,112 @@
+//! DL004 — observability-name registry.
+//!
+//! Every obs instrument and trace name (`core.join_attempts`,
+//! `refine.pass_cap`, ...) is a stable identifier: `--metrics-out` files,
+//! bench JSON assertions, the README counter table, and integration tests
+//! all key off the literal string.  The canonical definitions live in the
+//! registry modules (`crates/obs/src/metrics.rs` catalogs and
+//! `crates/obs/src/names.rs` trace names); a name literal anywhere else
+//! that is missing from the registry is drift — usually a typo in an
+//! assertion that would silently always fail, or a new instrument minted
+//! outside the catalog.
+//!
+//! Two checks:
+//! 1. any string literal shaped like an obs name (`prefix.snake_case`,
+//!    exactly one dot, prefix in the configured list) must be registered —
+//!    except literals whose post-dot segment is a configured
+//!    `ignore_suffixes` file extension (`store.json` is a filename, not an
+//!    instrument);
+//! 2. `Counter::new` / `Gauge::new` / `Histogram::new` may only appear in
+//!    a registry module.
+
+use super::{is_ident, is_punct, FileCtx};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+/// Rule id.
+pub const ID: &str = "DL004";
+
+/// The instrument constructors confined to the registry.
+const CONSTRUCTORS: &[&str] = &["Counter", "Gauge", "Histogram"];
+
+/// True when `text` is shaped like an obs name under the given prefixes:
+/// `prefix.segment` with exactly one dot and `[a-z0-9_]` segments.
+pub fn is_name_shaped(text: &str, prefixes: &[String]) -> bool {
+    let Some((prefix, rest)) = text.split_once('.') else {
+        return false;
+    };
+    !rest.is_empty()
+        && !rest.contains('.')
+        && prefixes.iter().any(|p| p == prefix)
+        && rest
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Checks one file against the registered-name set.
+pub fn check(
+    ctx: &FileCtx<'_>,
+    prefixes: &[String],
+    ignore_suffixes: &[String],
+    registry: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Str => {
+                // Escapes never appear in real names; skip anything escaped.
+                if t.text.contains('\\') || !is_name_shaped(&t.text, prefixes) {
+                    continue;
+                }
+                // `store.json` etc. are filenames, not instruments.
+                if t.text
+                    .rsplit_once('.')
+                    .is_some_and(|(_, ext)| ignore_suffixes.iter().any(|s| s == ext))
+                {
+                    continue;
+                }
+                if registry.contains(&t.text) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: ID,
+                    file: ctx.rel.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "obs name `{}` is not in the canonical registry — drift between \
+                         this literal and the catalog",
+                        t.text
+                    ),
+                    help: "register it in the `[DL004] registry` modules (obs metrics \
+                           catalog / trace names) or fix the typo; never mint instrument \
+                           names inline"
+                        .into(),
+                });
+            }
+            TokenKind::Ident
+                if CONSTRUCTORS.contains(&t.text.as_str())
+                    && is_punct(tokens, i + 1, "::")
+                    && is_ident(tokens, i + 2, "new") =>
+            {
+                out.push(Finding {
+                    rule: ID,
+                    file: ctx.rel.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}::new` outside the registry module: instruments must be \
+                         declared in the canonical catalog",
+                        t.text
+                    ),
+                    help: "add the instrument to the catalog in `crates/obs/src/metrics.rs` \
+                           and reference it from there"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! DL003 — panic-path policy for shipped library code.
+//!
+//! `unwrap`, `expect`, `panic!`, and `unreachable!` in non-test library
+//! code either encode a proven invariant — in which case the proof belongs
+//! next to the call as `// lint:allow(panic, "reason")` — or they are a
+//! latent crash on a fallible path and must become a typed error.  Test
+//! code (both `#[cfg(test)]` items and files under `tests/`) is exempt:
+//! panicking is how tests fail.
+
+use super::{is_punct, preceded_by, FileCtx};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// Rule id.
+pub const ID: &str = "DL003";
+
+/// Checks one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for i in 0..tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "unwrap" | "expect"
+                if preceded_by(tokens, i, &["."]) && is_punct(tokens, i + 1, "(") =>
+            {
+                format!(".{}()", t.text)
+            }
+            "panic" | "unreachable" if is_punct(tokens, i + 1, "!") => {
+                format!("{}!", t.text)
+            }
+            _ => continue,
+        };
+        out.push(Finding {
+            rule: ID,
+            file: ctx.rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!("`{what}` in non-test library code without a panic annotation"),
+            help: "convert a fallible path to a typed error, or prove the invariant \
+                   with `// lint:allow(panic, \"why this cannot fire\")`"
+                .into(),
+        });
+    }
+}

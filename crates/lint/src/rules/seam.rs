@@ -1,0 +1,114 @@
+//! DL001 — seam coverage: raw durability I/O must consult the failpoint
+//! seam.
+//!
+//! The crash-consistency torture harness (`tests/torture_store.rs`) can
+//! only exercise write paths that route through `disassoc_store::failpoints`
+//! / `disassoc_faults`.  A raw `fs::rename`, `File::create`, `write_all`,
+//! `sync_all`, or `sync_data` on a durability path silently shrinks the
+//! torture matrix — exactly how the CLI's flat-file publication rename went
+//! untested for three PRs.
+//!
+//! A raw call is **covered** when the enclosing `fn` item consults the seam
+//! (a `faults`, `failpoints`, or `disassoc_faults` path segment) **at or
+//! before the call's line**: the seam idiom is one `check_at`/`write_all_at`
+//! guarding the handful of writes that follow it, so function granularity
+//! with a before-the-call ordering check matches how the store is actually
+//! written — and a failpoint armed only *after* an I/O can never crash it,
+//! which is exactly how the CLI's publication renames hid inside a large
+//! dispatch function that consulted the seam in a later match arm.
+//! `File::create` alone gets a short forward grace window: creating a
+//! staging file is not a commit point, and the seam consult guarding the
+//! writes that follow exposes its crash state.  Pure
+//! encoding helpers over generic writers belong in `allow_modules`; a
+//! genuinely seam-free call needs a `// lint:allow(seam, "...")` with its
+//! justification.
+
+use super::{is_ident, is_punct, preceded_by, FileCtx};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// Rule id.
+pub const ID: &str = "DL001";
+
+/// Identifiers that prove the enclosing function consults the seam.
+const SEAM_MARKS: &[&str] = &["faults", "failpoints", "disassoc_faults"];
+
+/// Method-style raw calls (matched as `.name(` or `::name(`).
+const RAW_METHODS: &[&str] = &["write_all", "sync_all", "sync_data"];
+
+/// Forward grace window (in lines) for `File::create`: a create whose
+/// guarded write consults the seam within this many lines below counts as
+/// covered.  Commit-point operations get no grace — their seam consult must
+/// come first, or an armed failpoint could never crash them.
+const CREATE_GRACE_LINES: u32 = 3;
+
+/// Checks one file.
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for i in 0..tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let (call, grace) = match t.text.as_str() {
+            "rename" if is_punct(tokens, i + 1, "(") && path_is(tokens, i, "fs") => {
+                ("fs::rename", 0)
+            }
+            // Creating a staging file is not a commit point; the seam
+            // consult guarding the writes that follow (idiomatically on the
+            // next line) exposes the created-but-empty crash state, so a
+            // short forward grace window keeps the two-phase idiom clean.
+            "create" if is_punct(tokens, i + 1, "(") && path_is(tokens, i, "File") => {
+                ("File::create", CREATE_GRACE_LINES)
+            }
+            name if RAW_METHODS.contains(&name)
+                && is_punct(tokens, i + 1, "(")
+                && preceded_by(tokens, i, &[".", "::"]) =>
+            {
+                (name, 0)
+            }
+            _ => continue,
+        };
+        if covered(ctx, i, grace) {
+            continue;
+        }
+        out.push(Finding {
+            rule: ID,
+            file: ctx.rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "raw `{call}` outside the failpoint seam: the enclosing function never \
+                 consults `disassoc_store::failpoints`, so the torture matrix cannot \
+                 crash this write path"
+            ),
+            help: "guard it with `faults::check_at`/`faults::write_all_at` on a named \
+                   failpoint site, or annotate `// lint:allow(seam, \"why this write \
+                   needs no crash coverage\")`"
+                .into(),
+        });
+    }
+}
+
+/// True when `tokens[i]` is reached through `qualifier::` (e.g. `fs::rename`).
+fn path_is(tokens: &[crate::lexer::Token], i: usize, qualifier: &str) -> bool {
+    i >= 2 && is_punct(tokens, i - 1, "::") && is_ident(tokens, i - 2, qualifier)
+}
+
+/// True when the innermost enclosing `fn` item mentions the seam at or
+/// before the raw call's line (plus the call's forward `grace` window).  A
+/// seam consult that only happens *later* in the function (e.g. a
+/// different match arm of a large dispatcher) cannot have guarded this
+/// I/O, so it does not count.
+fn covered(ctx: &FileCtx<'_>, i: usize, grace: u32) -> bool {
+    let Some((start, end)) = ctx.structure.enclosing_fn(i) else {
+        return false;
+    };
+    let limit = ctx.lexed.tokens[i].line + grace;
+    ctx.lexed.tokens[start..end].iter().any(|t| {
+        t.line <= limit && t.kind == TokenKind::Ident && SEAM_MARKS.contains(&t.text.as_str())
+    })
+}

@@ -1,0 +1,38 @@
+//! DL002 — deprecated-shim quarantine.
+//!
+//! The PR 2 `stream` compatibility shims are deprecated and live, with
+//! their parity tests, in `crates/core/src/stream.rs`; the `Pipeline` API
+//! is the only supported entry point.  Any new reference to a banned
+//! identifier outside the quarantine modules re-opens a retired API.
+//!
+//! This replaces the CI shell grep, and improves on it: a banned name in a
+//! comment, doc example, or string no longer trips the check, while a real
+//! identifier use always does — even when the grep's `-v` path filters
+//! would have missed a new quarantine escape route.
+
+use super::FileCtx;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// Rule id.
+pub const ID: &str = "DL002";
+
+/// Checks one file against the configured `banned` identifier list.
+pub fn check(ctx: &FileCtx<'_>, banned: &[String], out: &mut Vec<Finding>) {
+    for t in &ctx.lexed.tokens {
+        if t.kind != TokenKind::Ident || !banned.iter().any(|b| b == &t.text) {
+            continue;
+        }
+        out.push(Finding {
+            rule: ID,
+            file: ctx.rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!("reference to the quarantined deprecated shim `{}`", t.text),
+            help: "use the `Pipeline` builder API; the shims and their parity tests \
+                   stay confined to the modules listed in `lint.toml` `[DL002] \
+                   allow_modules`"
+                .into(),
+        });
+    }
+}

@@ -1,0 +1,128 @@
+//! Workspace file walker: enumerates the `.rs` files to lint.
+//!
+//! Walks the configured roots, skips excluded prefixes plus `target`/`.git`
+//! directories anywhere, and classifies each file as test or library code
+//! from its path (any `tests` or `benches` component).  The result is
+//! sorted so every run — and the `--json` diagnostics artifact — is
+//! deterministic.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file selected for linting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// True when every item in the file is test code by location.
+    pub is_test: bool,
+}
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Collects all `.rs` files under `roots` (relative to `root`), excluding
+/// any whose relative path starts with an entry of `exclude`.
+pub fn collect(root: &Path, roots: &[String], exclude: &[String]) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for r in roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            walk(root, &dir, exclude, &mut out)?;
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, exclude: &[String], out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(rel) = relative(root, &path) else {
+            continue;
+        };
+        if exclude
+            .iter()
+            .any(|e| rel == *e || rel.starts_with(&format!("{e}/")))
+        {
+            continue;
+        }
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            let name = entry.file_name();
+            if SKIP_DIRS.iter().any(|s| name.to_string_lossy() == *s) {
+                continue;
+            }
+            walk(root, &path, exclude, out)?;
+        } else if file_type.is_file() && rel.ends_with(".rs") {
+            let is_test = rel
+                .split('/')
+                .any(|component| component == "tests" || component == "benches");
+            out.push(SourceFile { rel, is_test });
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated; `None` for foreign paths.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for c in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&c.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+/// Converts a workspace-relative `/`-separated path to a real [`PathBuf`].
+pub fn to_path(root: &Path, rel: &str) -> PathBuf {
+    let mut p = root.to_path_buf();
+    for part in rel.split('/') {
+        p.push(part);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_sorted_and_classified() {
+        let dir = std::env::temp_dir().join(format!("lint_walker_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        for sub in ["crates/x/src", "crates/x/tests", "crates/x/tests/fixtures"] {
+            std::fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        std::fs::write(dir.join("crates/x/src/lib.rs"), "").unwrap();
+        std::fs::write(dir.join("crates/x/tests/it.rs"), "").unwrap();
+        std::fs::write(dir.join("crates/x/tests/fixtures/f.rs"), "").unwrap();
+        std::fs::write(dir.join("crates/x/src/notes.txt"), "").unwrap();
+
+        let files = collect(
+            &dir,
+            &["crates".into()],
+            &["crates/x/tests/fixtures".into()],
+        )
+        .unwrap();
+        assert_eq!(
+            files,
+            vec![
+                SourceFile {
+                    rel: "crates/x/src/lib.rs".into(),
+                    is_test: false
+                },
+                SourceFile {
+                    rel: "crates/x/tests/it.rs".into(),
+                    is_test: true
+                },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

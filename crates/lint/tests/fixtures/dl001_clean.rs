@@ -1,0 +1,40 @@
+//! DL001 fixture: the same publication shape, correctly seam-covered.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn publish(partial: &Path, final_path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    failpoints::check_at("cli.publish.stage", partial)?;
+    let mut file = File::create(partial)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    std::fs::rename(partial, final_path)?;
+    Ok(())
+}
+
+pub fn staged_create(partial: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // The create precedes its seam consult by one line — the two-phase
+    // staging idiom the forward grace window exists for.
+    let mut file = File::create(partial)?;
+    faults::write_all_at("cli.publish.stage.write", partial, &mut file, bytes)?;
+    Ok(())
+}
+
+pub fn annotated(path: &Path) -> std::io::Result<()> {
+    let file = File::open(path)?;
+    // lint:allow(seam, "read-side metadata sync needs no crash coverage")
+    file.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let dir = std::env::temp_dir().join("dl001_clean");
+        std::fs::rename(dir.join("a"), dir.join("b")).ok();
+    }
+}

@@ -1,0 +1,34 @@
+//! DL001 regression fixture: the pre-fix shape of the CLI's flat-file
+//! publication (condensed from `crates/cli/src/lib.rs` before the seam
+//! routing).  One large dispatch function commits a publication with a raw
+//! `fs::rename`, while a *later* match arm consults the fault registry —
+//! the consult that made function-granularity coverage report this as
+//! covered even though no armed failpoint could ever crash the rename.
+//! The rule must flag both renames.
+
+pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match command {
+        Command::Anonymize { out_prefix, .. } => {
+            let chunks_path = out_prefix.with_extension("chunks.json");
+            let partial_path = out_prefix.with_extension("chunks.json.partial");
+            write_partial(&partial_path)?;
+            std::fs::rename(&partial_path, &chunks_path)?; // finding: raw commit point
+            writeln!(out, "published chunks: {}", chunks_path.display())?;
+            Ok(())
+        }
+        Command::Append { out_prefix, .. } => {
+            if let Some(prefix) = out_prefix {
+                let chunks_path = prefix.with_extension("chunks.json");
+                let partial_path = prefix.with_extension("chunks.json.partial");
+                write_partial(&partial_path)?;
+                std::fs::rename(&partial_path, &chunks_path)?; // finding: raw commit point
+            }
+            Ok(())
+        }
+        Command::Serve { .. } => {
+            // The seam consult lives here, two arms below the renames.
+            disassoc_faults::arm_from_env().map_err(CliError::Usage)?;
+            Ok(())
+        }
+    }
+}

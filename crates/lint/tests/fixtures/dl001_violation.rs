@@ -1,0 +1,22 @@
+//! DL001 fixture: raw durability I/O with no seam consult anywhere.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn publish(partial: &Path, final_path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(partial)?; // finding: File::create, no seam below
+    file.write_all(bytes)?; // finding: write_all
+    file.sync_all()?; // finding: sync_all
+    std::fs::rename(partial, final_path)?; // finding: fs::rename
+    Ok(())
+}
+
+pub fn late_seam(partial: &Path, final_path: &Path) -> std::io::Result<()> {
+    // The rename commits BEFORE the function ever consults the seam, so the
+    // consult below cannot cover it — this is the large-dispatcher shape
+    // that hid the CLI publication rename.
+    std::fs::rename(partial, final_path)?; // finding: seam consult comes later
+    let _ = stringify!(disassoc_faults);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! DL002 fixture: the supported Pipeline entry point, no shim identifiers.
+//! A comment mentioning stream_anonymize or a string "dataset_batches" is
+//! not a use of the shim — the lexer keeps both out of the token stream.
+
+pub fn run(records: Vec<Vec<u32>>) -> usize {
+    let banned_in_a_string = "stream_anonymize is deprecated";
+    let pipeline = Pipeline::new(records);
+    pipeline.run().len() + banned_in_a_string.len()
+}

@@ -1,0 +1,7 @@
+//! DL002 fixture: deprecated stream-shim identifiers outside quarantine.
+
+pub fn run(records: Vec<Vec<u32>>) -> usize {
+    let summary: StreamSummary = stream_anonymize(records); // findings: both idents
+    let batches = dataset_batches(&summary); // finding: dataset_batches
+    batches
+}

@@ -1,0 +1,25 @@
+//! DL003 fixture: panic paths either annotated with their proof or behind
+//! typed errors; test code exempt.
+
+pub fn parse(input: &str) -> Result<u64, std::num::ParseIntError> {
+    let n = input.parse::<u64>()?;
+    // lint:allow(panic, "n parsed from a non-empty numeral, so a first char exists")
+    let first = input.chars().next().expect("non-empty");
+    let _ = first;
+    Ok(n)
+}
+
+pub fn fixed_width(bytes: &[u8; 8]) -> u64 {
+    // lint:allow(panic, "fixed 8-byte array slice")
+    u64::from_le_bytes(bytes[..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,13 @@
+//! DL003 fixture: unannotated panic paths in library code.
+
+pub fn parse(input: &str) -> u64 {
+    let n = input.parse::<u64>().unwrap(); // finding: unwrap
+    let first = input.chars().next().expect("non-empty"); // finding: expect
+    if first == 'x' {
+        panic!("x is not allowed"); // finding: panic!
+    }
+    match n {
+        0 => unreachable!("zero was filtered"), // finding: unreachable!
+        other => other,
+    }
+}

@@ -1,0 +1,9 @@
+//! DL004 fixture: only registered names, filename-shaped literals, and
+//! out-of-family strings.
+
+pub fn record_metrics() {
+    inc("core.anonymize_runs"); // registered in the obs catalog
+    let manifest = "store.json"; // filename, not an instrument
+    let other = "unknown_prefix.whatever"; // prefix not in the obs family
+    let _ = (manifest, other);
+}

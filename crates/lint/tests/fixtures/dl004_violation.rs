@@ -1,0 +1,9 @@
+//! DL004 fixture: obs names minted or typo'd outside the registry.
+
+pub fn record_metrics() {
+    inc("core.join_attemps"); // finding: typo'd counter name
+    inc("store.mystery_counter"); // finding: never registered
+    // finding: instrument constructed outside the registry module
+    static LOCAL: Counter = Counter::new("core.local", "local counter");
+    LOCAL.inc();
+}

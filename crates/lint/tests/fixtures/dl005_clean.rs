@@ -1,0 +1,22 @@
+//! DL005 fixture: seeded randomness, annotated timing, and exempt tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn shuffle(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn timed() -> f64 {
+    // lint:allow(nondeterminism, "elapsed-seconds reporting only; never reaches published bytes")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,9 @@
+//! DL005 fixture: wall clocks and OS randomness in deterministic code.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now(); // finding: Instant::now
+    let s = std::time::SystemTime::now(); // finding: SystemTime::now
+    let mut rng = rand::thread_rng(); // finding: thread_rng
+    let _ = (t, s, &mut rng);
+    0
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 /// Emits a warning: always printed to stderr, and mirrored into the trace as

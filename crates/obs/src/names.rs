@@ -1,0 +1,59 @@
+//! Canonical trace-event and warning names.
+//!
+//! Instrument (counter/gauge/histogram) names live in the [`crate::metrics`]
+//! catalogs; the names of trace events and warnings — equally stable
+//! identifiers, asserted on by integration tests and scraped from trace
+//! files — live here.  Together the two modules are the `disassoc-lint`
+//! DL004 registry: any obs-shaped name literal elsewhere in the workspace
+//! must match an entry in one of them, which makes a typo'd assertion or an
+//! inline-minted name a lint error instead of silent drift.
+//!
+//! Instrumented code should reference these constants rather than repeat
+//! the literals.
+
+/// Per-run anonymization summary event (records, clusters, phase seconds).
+pub const EVENT_CORE_ANONYMIZE: &str = "core.anonymize";
+
+/// Per-batch pipeline completion event (batch index, records, seconds).
+pub const EVENT_PIPELINE_BATCH: &str = "pipeline.batch";
+
+/// Incremental append outcome event (generation, dirty/reused/new clusters).
+pub const EVENT_INCR_APPEND: &str = "incr.append";
+
+/// Warning: REFINE hit its pass cap without converging.
+pub const WARN_REFINE_PASS_CAP: &str = "refine.pass_cap";
+
+/// Warning: unsealed records were recovered from the write-ahead log.
+pub const WARN_STORE_WAL_RECOVERY: &str = "store.wal_recovery";
+
+/// Every registered trace/warning name, in declaration order.
+pub const ALL: &[&str] = &[
+    EVENT_CORE_ANONYMIZE,
+    EVENT_PIPELINE_BATCH,
+    EVENT_INCR_APPEND,
+    WARN_REFINE_PASS_CAP,
+    WARN_STORE_WAL_RECOVERY,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted_lowercase() {
+        let mut sorted: Vec<&str> = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL.len(), "duplicate trace names");
+        for name in ALL {
+            assert!(
+                name.contains('.')
+                    && name.chars().all(|c| c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || c == '_'
+                        || c == '.'),
+                "{name} is not dotted lowercase"
+            );
+        }
+    }
+}

@@ -139,6 +139,7 @@ impl DatasetHandle {
             std::fs::create_dir_all(&self.dir).map_err(ServeError::from)?;
             *guard = Some(Store::open(self.store_dir(), StoreConfig::default())?);
         }
+        // lint:allow(panic, "the guard was filled two lines up under the same lock")
         f(guard.as_mut().expect("store opened above"))
     }
 
@@ -181,6 +182,7 @@ impl DatasetHandle {
             std::fs::create_dir_all(&self.dir).map_err(ServeError::from)?;
             *guard = Some(ChunkDir::open(self.chunks_dir())?);
         }
+        // lint:allow(panic, "the guard was filled two lines up under the same lock")
         f(guard.as_mut().expect("publication opened above"))
     }
 

@@ -333,6 +333,7 @@ impl Response {
             "error".to_owned(),
             serde_json::Value::Str(message.to_owned()),
         )]))
+        // lint:allow(panic, "serialization of a string-only value tree cannot fail")
         .expect("a string-only object always serializes");
         Response::json(status, body)
     }

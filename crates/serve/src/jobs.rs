@@ -55,8 +55,10 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Starts `n` (at least 1) workers.
-    pub fn start(n: usize) -> WorkerPool {
+    /// Starts `n` (at least 1) workers.  Fails when the OS refuses to spawn
+    /// a worker thread (resource exhaustion); already-started workers are
+    /// shut down by the pool's drop in that case.
+    pub fn start(n: usize) -> std::io::Result<WorkerPool> {
         let queue = Arc::new(Queue {
             jobs: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -70,10 +72,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&queue))
-                    .expect("spawning a worker thread")
             })
-            .collect();
-        WorkerPool { queue, workers }
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(WorkerPool { queue, workers })
     }
 
     /// A cloneable submission handle.
@@ -138,7 +139,7 @@ mod tests {
 
     #[test]
     fn jobs_run_and_reply() {
-        let pool = WorkerPool::start(2);
+        let pool = WorkerPool::start(2).unwrap();
         let submitter = pool.submitter();
         let (tx, rx) = mpsc::channel();
         for i in 0..8 {
@@ -156,7 +157,7 @@ mod tests {
     #[test]
     fn drain_runs_every_queued_job_then_rejects() {
         // One worker → the queue really backs up before the drain.
-        let pool = WorkerPool::start(1);
+        let pool = WorkerPool::start(1).unwrap();
         let submitter = pool.submitter();
         let ran = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {
@@ -176,7 +177,7 @@ mod tests {
 
     #[test]
     fn a_panicking_job_does_not_kill_the_worker() {
-        let pool = WorkerPool::start(1);
+        let pool = WorkerPool::start(1).unwrap();
         let submitter = pool.submitter();
         assert!(submitter.try_submit(Box::new(|| panic!("job boom"))));
         let (tx, rx) = mpsc::channel();

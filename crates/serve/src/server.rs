@@ -124,7 +124,7 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let registry = Registry::open(data_dir)?;
-        let pool = WorkerPool::start(config.workers);
+        let pool = WorkerPool::start(config.workers)?;
         let state = Arc::new(State {
             registry,
             config,
@@ -283,6 +283,7 @@ fn route(state: &Arc<State>, request: &Request) -> Response {
 /// Builds a compact JSON object response body.
 fn obj(fields: Vec<(&str, Value)>) -> String {
     let value = Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect());
+    // lint:allow(panic, "serialization of an owned value tree cannot fail")
     serde_json::to_string(&value).expect("a value tree always serializes")
 }
 
@@ -340,6 +341,7 @@ fn list_datasets(state: &Arc<State>) -> Response {
         .collect();
     Response::json(
         200,
+        // lint:allow(panic, "serialization of an owned value tree cannot fail")
         serde_json::to_string(&Value::Array(list)).expect("a value tree always serializes"),
     )
 }
@@ -348,6 +350,7 @@ fn dataset_info(state: &Arc<State>, name: &str) -> Result<Response, ServeError> 
     let handle = require_dataset(state, name)?;
     Ok(Response::json(
         200,
+        // lint:allow(panic, "serialization of an owned value tree cannot fail")
         serde_json::to_string(&dataset_summary(&handle)).expect("a value tree always serializes"),
     ))
 }

@@ -223,7 +223,9 @@ pub fn read_footer(file: &mut File, path: &Path) -> Result<SegmentMeta> {
     file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
     let mut footer = [0u8; FOOTER_LEN as usize];
     file.read_exact(&mut footer)?;
+    // lint:allow(panic, "fixed 8-byte subslice of the footer array")
     let u64_at = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().unwrap());
+    // lint:allow(panic, "fixed 4-byte subslice of the footer array")
     let u32_at = |o: usize| u32::from_le_bytes(footer[o..o + 4].try_into().unwrap());
     if &footer[52..60] != SEGMENT_TAIL {
         return Err(corrupt(path, "bad tail magic"));

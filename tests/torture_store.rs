@@ -340,14 +340,85 @@ fn publication_crash_matrix_is_old_or_new_at_every_failpoint() {
     assert_eq!(points, failpoints::PUBLISH_SITES.len() * 2);
 }
 
+/// Runs the CLI flat-file publication commit with `site` armed in `mode`:
+/// an existing publication at the final path, a fully staged `.partial`
+/// replacement, then a crashed [`disassoc_store::publish::commit_flat_file`].
+/// Verifies the visible file is byte-for-byte either the old or the new
+/// publication — never a mix — and that a retry lands the new one.
+fn cli_publish_torture_one(site: &str, mode: Mode) -> usize {
+    let dir = tmpdir(&format!("cli_{}_{}", site.replace('.', "_"), mode.tag()));
+    let final_path = dir.join("out.chunks.json");
+    let partial = dir.join("out.chunks.json.partial");
+    let old_bytes = b"{\"generation\":1,\"clusters\":[\"old\"]}\n".to_vec();
+    let new_bytes = b"{\"generation\":2,\"clusters\":[\"new\",\"newer\"]}\n".to_vec();
+    std::fs::write(&final_path, &old_bytes).unwrap();
+    std::fs::write(&partial, &new_bytes).unwrap();
+
+    faults::arm(site, mode.policy());
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        disassoc_store::publish::commit_flat_file(&partial, &final_path)
+    }));
+    let stats = faults::site_stats(site).unwrap_or_else(|| panic!("site {site} never registered"));
+    assert_eq!(
+        stats.triggers,
+        1,
+        "{site}/{} must fire exactly once",
+        mode.tag()
+    );
+    match (mode, outcome) {
+        (Mode::Error, Ok(result)) => {
+            assert!(result.is_err(), "{site}: injected error must surface");
+        }
+        (Mode::Error, Err(_)) => panic!("{site}: error mode must not panic"),
+        (Mode::Panic, Err(_)) => {}
+        (Mode::Panic, Ok(_)) => panic!("{site}: armed panic never unwound"),
+    }
+    faults::disarm_all();
+
+    // Old-or-new: the final path holds exactly one of the two byte strings.
+    let visible = std::fs::read(&final_path).unwrap();
+    assert!(
+        visible == old_bytes || visible == new_bytes,
+        "{site}/{}: visible publication is neither the old nor the new bytes",
+        mode.tag()
+    );
+
+    // A retry with the surviving (or re-staged) partial lands the new
+    // publication cleanly.
+    if !partial.exists() {
+        std::fs::write(&partial, &new_bytes).unwrap();
+    }
+    disassoc_store::publish::commit_flat_file(&partial, &final_path).unwrap();
+    assert_eq!(std::fs::read(&final_path).unwrap(), new_bytes);
+    assert!(!partial.exists(), "{site}: committed partial must be gone");
+
+    std::fs::remove_dir_all(&dir).ok();
+    1
+}
+
+#[test]
+fn cli_publication_crash_matrix_is_old_or_new_at_every_failpoint() {
+    let _g = guard();
+    let mut points = 0;
+    for &site in failpoints::CLI_SITES {
+        for mode in [Mode::Error, Mode::Panic] {
+            points += cli_publish_torture_one(site, mode);
+        }
+    }
+    assert_eq!(points, failpoints::CLI_SITES.len() * 2);
+}
+
 #[test]
 fn the_matrix_covers_at_least_thirty_crash_points() {
     // The acceptance floor: every named failpoint exercised in both error
-    // and panic modes by the two matrix tests above.
-    let points = (failpoints::STORE_SITES.len() + failpoints::PUBLISH_SITES.len()) * 2;
+    // and panic modes by the three matrix tests above.
+    let covered = failpoints::STORE_SITES.len()
+        + failpoints::PUBLISH_SITES.len()
+        + failpoints::CLI_SITES.len();
+    let points = covered * 2;
     assert!(points >= 30, "only {points} crash points enumerated");
     assert_eq!(
-        failpoints::STORE_SITES.len() + failpoints::PUBLISH_SITES.len(),
+        covered,
         failpoints::ALL.len(),
         "matrix must cover every registered failpoint"
     );
